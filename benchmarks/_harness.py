@@ -1,0 +1,60 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` regenerates the series one figure/table of the
+evaluation would show (see DESIGN.md section 3 and EXPERIMENTS.md).
+Results are printed *and* written to ``benchmarks/results/eN_*.txt`` so
+``pytest benchmarks/ --benchmark-only`` leaves the measured tables on
+disk even though pytest captures stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Iterable, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    string_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in string_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.3g}"
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def report(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: str = "",
+) -> str:
+    """Print and persist one experiment table."""
+    table = format_table(headers, rows)
+    text = f"== {experiment}: {title} ==\n{table}\n"
+    if notes:
+        text += f"\n{notes}\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment.lower()}.txt").write_text(text)
+    print("\n" + text)
+    return text

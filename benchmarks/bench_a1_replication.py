@@ -1,0 +1,88 @@
+"""A1 (ablation) — fragment replication: read scaling vs write cost.
+
+Section 2.2's concurrency rule speaks of "the same copy of base
+fragments", implying fragments have copies.  This bench quantifies the
+classic replication trade-off in the PRISMA engine: concurrent readers
+spread over the copies (throughput up), while every write must update
+all of them (cost up).
+"""
+
+import pytest
+
+from repro import MachineConfig, PrismaDB
+from repro.core.workload import InterleavedDriver
+
+from _harness import report
+
+N_ROWS = 800
+FRAGMENTS = 4
+
+
+def build(copies: int) -> PrismaDB:
+    config = MachineConfig(n_nodes=16, disk_nodes=(0, 8))
+    db = PrismaDB(config)
+    with_clause = f" WITH {copies} REPLICAS" if copies > 1 else ""
+    db.execute(
+        "CREATE TABLE items (id INT PRIMARY KEY, v INT)"
+        f" FRAGMENTED BY HASH(id) INTO {FRAGMENTS}{with_clause}"
+    )
+    db.bulk_load("items", [(i, i % 50) for i in range(N_ROWS)])
+    db.quiesce()
+    return db
+
+
+def read_mix(db: PrismaDB, n_clients: int):
+    scripts = [
+        [["SELECT SUM(v) FROM items"]] * 3 for _ in range(n_clients)
+    ]
+    return InterleavedDriver(db).run(scripts)
+
+
+def write_time(db: PrismaDB) -> float:
+    db.quiesce()
+    session = db.session()
+    start = session.clock
+    session.begin()
+    session.execute("UPDATE items SET v = v + 1 WHERE id = 3")
+    session.commit()
+    return session.clock - start
+
+
+@pytest.fixture(scope="module")
+def results():
+    table = {}
+    for copies in (1, 2, 3):
+        db = build(copies)
+        reads = read_mix(db, 4)
+        table[copies] = {
+            "read_tps": reads.throughput_tps,
+            "write_ms": write_time(db) * 1000,
+        }
+    return table
+
+
+def test_a1_replication_tradeoff(results, benchmark):
+    rows = [
+        (
+            copies,
+            f"{data['read_tps']:.1f}",
+            f"{data['write_ms']:.1f}",
+        )
+        for copies, data in results.items()
+    ]
+    report(
+        "A1",
+        "fragment copies: 4-client read throughput vs single-row write cost",
+        ["copies", "read txn/s", "write ms"],
+        rows,
+        notes=(
+            "Readers load-balance over copies; writers pay every copy"
+            " (more participants, more WAL forces)."
+        ),
+    )
+    # Reads scale with copies under concurrency.
+    assert results[2]["read_tps"] > 1.3 * results[1]["read_tps"]
+    # Writes get more expensive with more copies.
+    assert results[2]["write_ms"] > results[1]["write_ms"]
+    assert results[3]["write_ms"] > results[2]["write_ms"]
+    benchmark.pedantic(lambda: read_mix(build(2), 2), rounds=1, iterations=1)

@@ -1,0 +1,121 @@
+"""E8 — inter-query parallelism and its limit (Section 2.2).
+
+"This means that evaluation of several queries and updates can be done
+in parallel, except for accesses to the same copy of base fragments of
+the database."
+
+Two sweeps over the banking workload:
+
+* throughput vs number of concurrent clients on *disjoint* fragments
+  (should scale), and
+* the same with every client hammering the *same* hot fragment (should
+  flatten: the exception the paper states).
+"""
+
+import pytest
+
+from repro import MachineConfig, PrismaDB
+from repro.core.workload import InterleavedDriver
+from repro.workloads import setup_bank
+
+from _harness import report
+
+N_ACCOUNTS = 64
+FRAGMENTS = 16
+TXNS_PER_CLIENT = 4
+CLIENT_COUNTS = [1, 2, 4, 8]
+
+
+def run_mix(n_clients: int, disjoint: bool):
+    config = MachineConfig(n_nodes=32, disk_nodes=(0, 16))
+    db = PrismaDB(config)
+    setup_bank(db, N_ACCOUNTS, FRAGMENTS)
+    db.quiesce()
+    scripts = []
+    for client in range(n_clients):
+        transactions = []
+        for t in range(TXNS_PER_CLIENT):
+            if disjoint:
+                # One fragment per client: ids 0..15 hash to distinct
+                # fragments under HASH(id) INTO 16.
+                account = client
+            else:
+                account = 0  # everyone fights over one fragment
+            transactions.append([
+                f"UPDATE account SET balance = balance + 1 WHERE id = {account}",
+                f"SELECT balance FROM account WHERE id = {account}",
+            ])
+        scripts.append(transactions)
+    driver = InterleavedDriver(db)
+    return driver.run(scripts)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        (n, disjoint): run_mix(n, disjoint)
+        for n in CLIENT_COUNTS
+        for disjoint in (True, False)
+    }
+
+
+def test_e8_multiquery_throughput(sweep, benchmark):
+    rows = []
+    for n in CLIENT_COUNTS:
+        disjoint = sweep[(n, True)]
+        hot = sweep[(n, False)]
+        rows.append(
+            (
+                n,
+                f"{disjoint.throughput_tps:.1f}",
+                f"{hot.throughput_tps:.1f}",
+                disjoint.lock_waits,
+                hot.lock_waits + hot.deadlocks,
+            )
+        )
+    report(
+        "E8",
+        "transaction throughput vs concurrent clients"
+        f" ({TXNS_PER_CLIENT} txns/client, {FRAGMENTS} fragments)",
+        ["clients", "disjoint tps", "hot-fragment tps",
+         "waits (disjoint)", "waits (hot)"],
+        rows,
+        notes=(
+            "Disjoint clients scale; clients on the same base fragment"
+            " serialize — exactly the exception Section 2.2 states."
+        ),
+    )
+    # Disjoint fragments: more clients -> clearly more throughput.
+    assert (
+        sweep[(8, True)].throughput_tps
+        > 2.5 * sweep[(1, True)].throughput_tps
+    )
+    # Hot fragment: throughput must NOT scale like the disjoint case.
+    hot_scaling = sweep[(8, False)].throughput_tps / sweep[(1, False)].throughput_tps
+    disjoint_scaling = (
+        sweep[(8, True)].throughput_tps / sweep[(1, True)].throughput_tps
+    )
+    assert hot_scaling < disjoint_scaling / 1.5
+    # Contention shows up as lock waits only in the hot case.
+    assert sweep[(8, False)].lock_waits > sweep[(8, True)].lock_waits
+    benchmark.pedantic(run_mix, args=(2, True), rounds=1, iterations=1)
+
+
+def test_e8_readers_share_fragments(benchmark):
+    """Read-only queries on the same fragments run concurrently."""
+    config = MachineConfig(n_nodes=16, disk_nodes=(0,))
+    db = PrismaDB(config)
+    setup_bank(db, 32, 8)
+    db.quiesce()
+
+    def clients(n):
+        scripts = [
+            [["SELECT SUM(balance) FROM account"]] * 2 for _ in range(n)
+        ]
+        return InterleavedDriver(db).run(scripts)
+
+    result = clients(4)
+    assert result.lock_waits == 0
+    assert result.deadlocks == 0
+    assert result.transactions_committed == 8
+    benchmark.pedantic(clients, args=(2,), rounds=1, iterations=1)

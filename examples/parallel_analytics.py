@@ -1,0 +1,52 @@
+"""Intra-query parallelism: the fragment-count speedup curve (E4 live).
+
+Loads the same Wisconsin-style relation at several fragment counts and
+shows how response time, per-element utilization, and network traffic
+change — the paper's "performance improvement by introduction of
+parallelism" (Section 2.1) made visible.
+
+Run:  python examples/parallel_analytics.py
+"""
+
+from repro import MachineConfig, PrismaDB
+from repro.workloads import load_wisconsin
+
+QUERY = (
+    "SELECT ten, COUNT(*) AS n, AVG(unique1) AS avg1"
+    " FROM wisc GROUP BY ten"
+)
+
+
+def run(fragments: int, n_rows: int = 6000):
+    config = MachineConfig(n_nodes=64, disk_nodes=(0, 32))
+    db = PrismaDB(config)
+    load_wisconsin(db, "wisc", n_rows, fragments=fragments)
+    result = db.execute(QUERY)
+    return result
+
+
+def main() -> None:
+    print(f"query: {QUERY}\n")
+    print(f"{'fragments':>9}  {'response ms':>11}  {'speedup':>7}"
+          f"  {'messages':>8}  {'KB shipped':>10}")
+    baseline = None
+    for fragments in (1, 2, 4, 8, 16, 32):
+        result = run(fragments)
+        response = result.report.response_time
+        if baseline is None:
+            baseline = response
+        print(
+            f"{fragments:>9}  {response * 1000:>11.1f}"
+            f"  {baseline / response:>6.1f}x"
+            f"  {result.report.messages:>8}"
+            f"  {result.report.bytes_shipped / 1024:>10.1f}"
+        )
+    print(
+        "\nNear-linear speedup while fragments stay big; communication"
+        "\ngrows with the fan-out — the balance Section 3.1 says the"
+        "\ndatabase implementor controls through explicit allocation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""PRISMA database machine reproduction.
+
+A distributed, main-memory DBMS (Apers, Kersten, Oerlemans, EDBT 1988)
+rebuilt as a Python library: a discrete-event multi-computer simulator,
+a POOL-X-style process runtime, One-Fragment Managers with a generative
+expression compiler and a transitive-closure operator, a knowledge-based
+query optimizer, SQL and PRISMAlog front-ends, fragment-level two-phase
+locking, two-phase commit, and WAL-based crash recovery.
+
+Quickstart::
+
+    from repro import PrismaDB
+
+    db = PrismaDB()
+    db.execute("CREATE TABLE emp (id INT PRIMARY KEY, dept STRING,"
+               " sal FLOAT) FRAGMENTED BY HASH(id) INTO 8")
+    db.execute("INSERT INTO emp VALUES (1, 'eng', 120.0)")
+    result = db.execute("SELECT dept, AVG(sal) FROM emp GROUP BY dept")
+    print(result.rows, result.response_time)
+"""
+
+from repro.core.database import PrismaDB, Session
+from repro.core.result import QueryResult
+from repro.errors import PrismaError
+from repro.machine.config import MachineConfig, paper_prototype, small_machine
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "MachineConfig",
+    "PrismaDB",
+    "PrismaError",
+    "QueryResult",
+    "Session",
+    "__version__",
+    "paper_prototype",
+    "small_machine",
+]

@@ -1,0 +1,280 @@
+"""Single-site evaluation of logical plans.
+
+This is the engine that runs *inside* a One-Fragment Manager: it
+evaluates a plan tree against main-memory relations, using the
+expression compiler (or the interpreter, under ablation) for predicates
+and projections, and metering abstract work for the simulated clock.
+
+The distributed executor (:mod:`repro.core.executor`) decomposes a plan
+into per-fragment subplans and runs each of them through one of these.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.errors import ExecutionError
+from repro.exec.closure import (
+    naive_closure,
+    seminaive_closure,
+    seminaive_fixpoint,
+    smart_closure,
+)
+from repro.exec.compiler import compile_key
+from repro.exec.evaluation import Evaluator
+from repro.exec.operators import (
+    AggSpec,
+    JoinKind,
+    Row,
+    WorkMeter,
+    aggregate_rows,
+    difference_rows,
+    distinct_rows,
+    hash_join,
+    intersect_rows,
+    limit_rows,
+    nested_loop_join,
+    project_rows,
+    select_rows,
+    sort_rows,
+    union_all_rows,
+    union_rows,
+)
+from repro.algebra.plan import (
+    AggregateNode,
+    ClosureNode,
+    DeltaScanNode,
+    DistinctNode,
+    FixpointNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    SetOpNode,
+    SharedScanNode,
+    SortNode,
+    TotalScanNode,
+    ValuesNode,
+)
+
+_CLOSURE_ALGORITHMS = {
+    "naive": naive_closure,
+    "seminaive": seminaive_closure,
+    "smart": smart_closure,
+}
+
+TableResolver = Callable[[str], Sequence[Row]]
+
+
+class LocalExecutor:
+    """Evaluates plans against in-memory relations.
+
+    Parameters
+    ----------
+    tables:
+        Mapping (or resolver function) from base-table name to rows.
+    shared:
+        Rows of materialized common subexpressions, keyed by token.
+    evaluator:
+        Expression back-end (compiled by default).
+    meter:
+        Work counters; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[str, Sequence[Row]] | TableResolver | None = None,
+        shared: Mapping[str, Sequence[Row]] | None = None,
+        evaluator: Evaluator | None = None,
+        meter: WorkMeter | None = None,
+    ):
+        if tables is None:
+            tables = {}
+        if callable(tables):
+            self._resolve_table: TableResolver = tables
+        else:
+            mapping = dict(tables)
+
+            def lookup(name: str, _mapping=mapping) -> Sequence[Row]:
+                try:
+                    return _mapping[name]
+                except KeyError:
+                    raise ExecutionError(f"no relation named {name!r}") from None
+
+            self._resolve_table = lookup
+        self.shared = dict(shared or {})
+        self.evaluator = evaluator or Evaluator()
+        self.meter = meter if meter is not None else WorkMeter()
+        self._recursion_delta: dict[str, list[Row]] = {}
+        self._recursion_total: dict[str, list[Row]] = {}
+        #: Fixpoint iteration counts per token (observability for E6/E7).
+        self.fixpoint_iterations: dict[str, int] = {}
+
+    # -- entry point -----------------------------------------------------------
+
+    def bind_recursion(
+        self,
+        token: str,
+        delta: Sequence[Row],
+        total: Sequence[Row],
+    ) -> None:
+        """Expose delta/total relations for a recursion token.
+
+        Used by evaluators that drive their own fixpoint loop (the
+        PRISMAlog engine handles mutually recursive predicates this way,
+        binding one token per predicate of a strongly connected
+        component before evaluating each rule body).
+        """
+        self._recursion_delta[token] = list(delta)
+        self._recursion_total[token] = list(total)
+
+    def clear_recursion(self, token: str) -> None:
+        self._recursion_delta.pop(token, None)
+        self._recursion_total.pop(token, None)
+
+    def run(self, plan: PlanNode) -> list[Row]:
+        method = getattr(self, f"_run_{type(plan).__name__}", None)
+        if method is None:
+            raise ExecutionError(f"no executor for {type(plan).__name__}")
+        return method(plan)
+
+    # -- leaves ------------------------------------------------------------------
+
+    def _run_ScanNode(self, plan: ScanNode) -> list[Row]:
+        rows = list(self._resolve_table(plan.table_name))
+        self.meter.tuples += len(rows)
+        return rows
+
+    def _run_ValuesNode(self, plan: ValuesNode) -> list[Row]:
+        return list(plan.rows)
+
+    def _run_SharedScanNode(self, plan: SharedScanNode) -> list[Row]:
+        try:
+            rows = self.shared[plan.token]
+        except KeyError:
+            raise ExecutionError(
+                f"shared subexpression {plan.token!r} was not materialized"
+            ) from None
+        self.meter.tuples += len(rows)
+        return list(rows)
+
+    def _run_DeltaScanNode(self, plan: DeltaScanNode) -> list[Row]:
+        try:
+            return list(self._recursion_delta[plan.token])
+        except KeyError:
+            raise ExecutionError(
+                f"delta scan outside fixpoint for token {plan.token!r}"
+            ) from None
+
+    def _run_TotalScanNode(self, plan: TotalScanNode) -> list[Row]:
+        try:
+            return list(self._recursion_total[plan.token])
+        except KeyError:
+            raise ExecutionError(
+                f"total scan outside fixpoint for token {plan.token!r}"
+            ) from None
+
+    # -- unary ---------------------------------------------------------------------
+
+    def _run_SelectNode(self, plan: SelectNode) -> list[Row]:
+        rows = self.run(plan.child)
+        predicate, weight = self.evaluator.predicate(plan.predicate)
+        return select_rows(rows, predicate, self.meter, eval_weight=weight)
+
+    def _run_ProjectNode(self, plan: ProjectNode) -> list[Row]:
+        rows = self.run(plan.child)
+        projector, weight = self.evaluator.projector(plan.exprs)
+        return project_rows(rows, projector, self.meter, eval_weight=weight)
+
+    def _run_AggregateNode(self, plan: AggregateNode) -> list[Row]:
+        rows = self.run(plan.child)
+        group_key = compile_key(plan.group_cols) if plan.group_cols else None
+        specs = []
+        for aggregate in plan.aggregates:
+            arg_fn = None
+            if aggregate.arg is not None:
+                arg_fn, _ = self.evaluator.scalar(aggregate.arg)
+            specs.append(AggSpec(aggregate.func, arg_fn, aggregate.distinct))
+        return aggregate_rows(rows, group_key, specs, self.meter)
+
+    def _run_SortNode(self, plan: SortNode) -> list[Row]:
+        rows = self.run(plan.child)
+        positions = [i for i, _ in plan.keys]
+        directions = [d for _, d in plan.keys]
+        return sort_rows(rows, positions, directions, self.meter)
+
+    def _run_DistinctNode(self, plan: DistinctNode) -> list[Row]:
+        return distinct_rows(self.run(plan.child), self.meter)
+
+    def _run_LimitNode(self, plan: LimitNode) -> list[Row]:
+        return limit_rows(self.run(plan.child), plan.limit, plan.offset)
+
+    def _run_ClosureNode(self, plan: ClosureNode) -> list[Row]:
+        rows = self.run(plan.child)
+        algorithm = _CLOSURE_ALGORITHMS[plan.mode]
+        result = algorithm([tuple(r) for r in rows], self.meter)
+        self.fixpoint_iterations[f"closure@{id(plan)}"] = result.iterations
+        return list(result.rows)
+
+    def _run_FixpointNode(self, plan: FixpointNode) -> list[Row]:
+        base_rows = self.run(plan.base)
+        token = plan.token
+
+        def step(total: set, delta: list) -> list[Row]:
+            self._recursion_delta[token] = delta
+            self._recursion_total[token] = list(total)
+            try:
+                return self.run(plan.step)
+            finally:
+                self._recursion_delta.pop(token, None)
+                self._recursion_total.pop(token, None)
+
+        result = seminaive_fixpoint(base_rows, step, self.meter)
+        self.fixpoint_iterations[token] = result.iterations
+        return list(result.rows)
+
+    # -- binary -----------------------------------------------------------------------
+
+    def _run_JoinNode(self, plan: JoinNode) -> list[Row]:
+        left_rows = self.run(plan.left)
+        right_rows = self.run(plan.right)
+        right_width = len(plan.right.schema)
+        left_keys, right_keys, residual = plan.equi_keys()
+        if left_keys:
+            residual_fn = None
+            if residual is not None:
+                residual_fn, _ = self.evaluator.predicate(residual)
+            return hash_join(
+                left_rows,
+                right_rows,
+                compile_key(left_keys),
+                compile_key(right_keys),
+                self.meter,
+                kind=plan.kind,
+                right_width=right_width,
+                residual=residual_fn,
+            )
+        condition_fn = None
+        if plan.condition is not None:
+            condition_fn, _ = self.evaluator.predicate(plan.condition)
+        return nested_loop_join(
+            left_rows,
+            right_rows,
+            condition_fn,
+            self.meter,
+            kind=plan.kind,
+            right_width=right_width,
+        )
+
+    def _run_SetOpNode(self, plan: SetOpNode) -> list[Row]:
+        left_rows = self.run(plan.left)
+        right_rows = self.run(plan.right)
+        if plan.op == "union":
+            return union_rows(left_rows, right_rows, self.meter)
+        if plan.op == "union_all":
+            return union_all_rows(left_rows, right_rows, self.meter)
+        if plan.op == "intersect":
+            return intersect_rows(left_rows, right_rows, self.meter)
+        return difference_rows(left_rows, right_rows, self.meter)

@@ -1,0 +1,69 @@
+"""The data allocation manager (paper Section 2.2).
+
+Decides which processing element hosts each fragment of a new relation.
+The default policy spreads fragments over distinct elements with the
+most free memory — fragments are the unit of parallelism, so spreading
+them is what buys intra-query speedup (E4), while memory-awareness
+keeps 16 MByte elements from overflowing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.machine.machine import Machine
+
+
+class DataAllocationManager:
+    """Places fragments onto processing elements."""
+
+    def __init__(self, machine: Machine, reserve_node: int | None = 0):
+        """*reserve_node* (the GDH's home) is avoided while alternatives
+        exist, so coordination work does not contend with fragment
+        hosting on small machines."""
+        self.machine = machine
+        self.reserve_node = reserve_node
+
+    def place_fragments(
+        self,
+        n_fragments: int,
+        expected_bytes_per_fragment: int = 0,
+        avoid: set[int] | None = None,
+    ) -> list[int]:
+        """Pick a home element for each of *n_fragments* fragments.
+
+        Spreads over distinct elements first (most-free-memory order);
+        wraps around when there are more fragments than elements.
+        Raises :class:`AllocationError` if no element can fit the
+        expected footprint.
+        """
+        if n_fragments < 1:
+            raise AllocationError(f"cannot place {n_fragments} fragments")
+        avoid = set(avoid or ())
+        candidates = [
+            node_id
+            for node_id in range(self.machine.n_nodes)
+            if node_id not in avoid
+        ]
+        if (
+            self.reserve_node is not None
+            and len(candidates) > n_fragments
+            and self.reserve_node in candidates
+        ):
+            candidates.remove(self.reserve_node)
+        if not candidates:
+            raise AllocationError("no processing elements available for placement")
+        ranked = sorted(
+            candidates,
+            key=lambda n: (-self.machine.node(n).memory.available, n),
+        )
+        placements: list[int] = []
+        for i in range(n_fragments):
+            node_id = ranked[i % len(ranked)]
+            free = self.machine.node(node_id).memory.available
+            if expected_bytes_per_fragment and free < expected_bytes_per_fragment:
+                raise AllocationError(
+                    f"element {node_id} has {free} bytes free,"
+                    f" fragment needs ~{expected_bytes_per_fragment}"
+                )
+            placements.append(node_id)
+        return placements

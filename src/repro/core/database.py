@@ -1,0 +1,340 @@
+"""The public facade: :class:`PrismaDB` and :class:`Session`.
+
+A ``PrismaDB`` is one PRISMA database machine: a simulated
+multi-computer, a POOL-X runtime, a Global Data Handler, and the OFMs it
+supervises.  Sessions provide the two query interfaces of Section 2.1 —
+SQL and PRISMAlog — plus transaction control, crash/restart, and access
+to the simulated-machine accounting.
+
+    >>> db = PrismaDB()
+    >>> db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)"
+    ...            " FRAGMENTED BY HASH(id) INTO 4").message
+    'table t created: ...'
+"""
+
+from __future__ import annotations
+
+from repro.errors import PrismaError
+from repro.machine.config import MachineConfig, paper_prototype
+from repro.machine.machine import Machine
+from repro.algebra.optimizer import OptimizerOptions
+from repro.core.gdh import GlobalDataHandler, SessionState
+from repro.core.recovery import CrashReport, RecoveryManager, RecoveryReport
+from repro.core.result import QueryResult
+from repro.pool.runtime import PoolRuntime
+from repro.sql.parser import parse_script
+
+
+class Session:
+    """One client connection with its own transaction context."""
+
+    def __init__(self, db: "PrismaDB", state: SessionState):
+        self._db = db
+        self._state = state
+
+    @property
+    def session_id(self) -> int:
+        return self._state.session_id
+
+    @property
+    def clock(self) -> float:
+        """This session's simulated time."""
+        return self._state.clock
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._state.txn is not None
+
+    def execute(self, sql: str) -> QueryResult:
+        """Run one SQL statement in this session."""
+        return self._db.gdh.execute_sql(sql, self._state)
+
+    def query(self, sql: str) -> list[tuple]:
+        """Run a SELECT and return just its rows."""
+        return self.execute(sql).rows
+
+    def begin(self) -> None:
+        self._db.gdh.begin(self._state)
+
+    def commit(self) -> None:
+        self._db.gdh.commit(self._state)
+
+    def rollback(self) -> None:
+        self._db.gdh.rollback(self._state)
+
+    def execute_prismalog(self, program: str) -> list[QueryResult]:
+        """Run a PRISMAlog program; one result per ``? query.``."""
+        return self._db.run_prismalog(program, self._state)
+
+
+class PrismaDB:
+    """A PRISMA database machine instance.
+
+    Parameters
+    ----------
+    config:
+        Multi-computer hardware description; defaults to the 64-element
+        prototype of Section 3.2 (with disks on every 8th element).
+    compiled_expressions:
+        Use the generative expression compiler (True, the paper's
+        design) or the interpreter baseline (False; E5 ablation).
+    optimizer_options:
+        Ablation switches for the knowledge-based optimizer (E10).
+    allow_one_phase:
+        Use the single-participant commit fast path (E9 ablation).
+    default_fragments:
+        Fragment count for CREATE TABLE without a FRAGMENTED BY clause
+        (hash on the primary key); default is a single fragment.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig | None = None,
+        compiled_expressions: bool = True,
+        optimizer_options: OptimizerOptions | None = None,
+        allow_one_phase: bool = True,
+        default_fragments: int | None = None,
+        disk_resident: bool = False,
+    ):
+        self.machine = Machine(config or paper_prototype())
+        if not self.machine.disk_nodes():
+            raise PrismaError(
+                "PRISMA needs at least one disk-equipped processing element"
+                " for stable storage (set MachineConfig.disk_nodes)"
+            )
+        self.runtime = PoolRuntime(self.machine)
+        self.gdh = GlobalDataHandler(
+            self.runtime,
+            compiled_expressions=compiled_expressions,
+            optimizer_options=optimizer_options,
+            allow_one_phase=allow_one_phase,
+            default_fragments=default_fragments,
+            disk_resident=disk_resident,
+        )
+        self.recovery = RecoveryManager(self.gdh)
+        self._default_session = self.session()
+
+    # -- sessions --------------------------------------------------------------
+
+    def session(self) -> Session:
+        """Open a new client session."""
+        return Session(self, self.gdh.new_session())
+
+    # -- statement execution -------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Run one statement in the default session."""
+        return self._default_session.execute(sql)
+
+    def query(self, sql: str) -> list[tuple]:
+        return self._default_session.query(sql)
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Run a ``;``-separated script in the default session."""
+        results = []
+        for statement in parse_script(sql):
+            results.append(
+                self.gdh.execute_statement(
+                    statement, self._default_session._state
+                )
+            )
+        return results
+
+    def execute_prismalog(self, program: str) -> list[QueryResult]:
+        return self._default_session.execute_prismalog(program)
+
+    def run_prismalog(self, program: str, state: SessionState) -> list[QueryResult]:
+        """Evaluate a PRISMAlog program against the database.
+
+        Database relations serve as extensional predicates.  Programs
+        whose recursion is expressible by the closure operator compile
+        to ordinary algebra plans and run through the *distributed*
+        executor (fragment-parallel, Section 2.3's semantics-via-algebra
+        made literal); general recursion falls back to the semi-naive
+        engine at a per-query process, with referenced base tables
+        gathered there first.  Either way the touched fragments are
+        S-locked.
+        """
+        from repro.core.locks import LockMode
+        from repro.core.transactions import TxnState
+        from repro.prismalog.compile import compile_program
+        from repro.prismalog.engine import PrismalogEngine
+        from repro.prismalog.parser import parse_program
+
+        parsed = parse_program(program)
+        compiled = compile_program(parsed, self.gdh.catalog.schemas())
+        if compiled is not None:
+            return self._run_prismalog_compiled(program, parsed, compiled, state)
+        referenced = parsed.predicates()
+        edb_tables = {}
+        edb_schemas = {}
+        gdh = self.gdh
+        txn, autocommit = gdh._ensure_txn(state)
+        process = gdh._new_query_process(state, "prismalog")
+        try:
+            resources = []
+            for name in sorted(referenced):
+                if gdh.catalog.has_table(name):
+                    info = gdh.catalog.table(name)
+                    for fragment in info.fragments:
+                        resources.append((info.name, fragment.fragment_id))
+            gdh._lock(txn, state, process, resources, LockMode.SHARED)
+            gdh._charge_frontend(process, program, None)
+            # Gather EDB relations to the query process.
+            for name in sorted(referenced):
+                if not gdh.catalog.has_table(name):
+                    continue
+                info = gdh.catalog.table(name)
+                rows = []
+                for fragment in info.fragments:
+                    ofm = gdh.fragment_ofms[fragment.ofm_name]
+                    fragment_rows = ofm.scan_rows()
+                    gdh.runtime.send(
+                        ofm, process, max(64, info.schema.average_row_bytes() * len(fragment_rows))
+                    )
+                    rows.extend(fragment_rows)
+                edb_tables[name] = rows
+                edb_schemas[name] = info.schema
+            engine = PrismalogEngine(
+                edb_tables,
+                edb_schemas,
+                evaluator=gdh.executor.evaluator,
+            )
+            answers = engine.run_program(parsed)
+            meter = engine.stats.meter
+            process.charge(
+                self.machine.cpu_time(
+                    tuples=int(meter.tuples),
+                    hashes=int(meter.hashes),
+                    compares=int(meter.compares),
+                )
+            )
+            if autocommit:
+                gdh.txns.finish(txn, TxnState.COMMITTED, process.ready_at)
+            results = []
+            for answer in answers:
+                results.append(
+                    QueryResult(
+                        "prismalog",
+                        columns=answer.columns,
+                        rows=answer.rows,
+                        prismalog_stats={
+                            "compiled_to_algebra": False,
+                            "fixpoint_iterations": dict(
+                                engine.stats.fixpoint_iterations
+                            ),
+                            "closure_operator_hits": list(
+                                engine.stats.closure_operator_hits
+                            ),
+                            "materialized_rows": dict(
+                                engine.stats.materialized_rows
+                            ),
+                        },
+                    )
+                )
+            return results
+        finally:
+            gdh._finish_query(state, process)
+
+    def _run_prismalog_compiled(
+        self, program_text: str, parsed, compiled, state: SessionState
+    ) -> list[QueryResult]:
+        """Run a fully-compiled PRISMAlog program distributed."""
+        from repro.core.locks import LockMode
+        from repro.core.transactions import TxnState
+
+        gdh = self.gdh
+        txn, autocommit = gdh._ensure_txn(state)
+        process = gdh._new_query_process(state, "prismalog")
+        try:
+            optimizer = gdh._optimizer()
+            optimized_queries = [
+                (query, optimizer.optimize(plan))
+                for query, plan in compiled.query_plans
+            ]
+            resources = []
+            for _query, optimized in optimized_queries:
+                resources.extend(gdh._scan_resources(optimized.plan))
+                for shared in optimized.shared:
+                    resources.extend(gdh._scan_resources(shared.plan))
+            gdh._lock(txn, state, process, resources, LockMode.SHARED)
+            gdh._charge_frontend(process, program_text, None)
+            results = []
+            for query, optimized in optimized_queries:
+                rows, report = gdh.executor.execute(optimized, process)
+                results.append(
+                    QueryResult(
+                        "prismalog",
+                        columns=optimized.plan.schema.names(),
+                        rows=sorted(rows, key=repr),
+                        report=report,
+                        prismalog_stats={
+                            "compiled_to_algebra": True,
+                            "closure_operator_hits": list(
+                                compiled.closure_predicates
+                            ),
+                            "fixpoint_iterations": {},
+                            "materialized_rows": {},
+                        },
+                    )
+                )
+            if autocommit:
+                gdh.txns.finish(txn, TxnState.COMMITTED, process.ready_at)
+            return results
+        finally:
+            gdh._finish_query(state, process)
+
+    # -- bulk loading ------------------------------------------------------------------
+
+    def bulk_load(self, table: str, rows: list[tuple]) -> int:
+        """Fast non-transactional initial population (snapshots after).
+
+        Quiesces afterwards, so the next query is measured against an
+        idle machine instead of waiting behind the load's checkpoint.
+        """
+        count = self.gdh.bulk_load(table, rows)
+        self.quiesce()
+        return count
+
+    def quiesce(self) -> float:
+        """Advance the default session and the GDH to the machine-wide
+        horizon — i.e. let all in-flight background work finish before
+        the next measured statement starts."""
+        horizon = self.runtime.horizon()
+        self.gdh.gdh_process.advance_to(horizon)
+        self._default_session._state.clock = max(
+            self._default_session._state.clock, horizon
+        )
+        return horizon
+
+    # -- durability --------------------------------------------------------------------
+
+    def checkpoint(self) -> float:
+        """Snapshot all durable fragments; returns simulated cost."""
+        return self.gdh.checkpoint()
+
+    def crash(self) -> CrashReport:
+        """Simulate a machine-wide failure (volatile state lost)."""
+        report = self.recovery.crash()
+        # Open sessions lose their transactions.
+        return report
+
+    def restart(self) -> RecoveryReport:
+        """Recover committed state from stable storage."""
+        return self.recovery.restart()
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def catalog(self):
+        return self.gdh.catalog
+
+    def table_row_count(self, name: str) -> int:
+        info = self.gdh.catalog.table(name)
+        return sum(
+            len(self.gdh.fragment_ofms[f.ofm_name].table) for f in info.fragments
+        )
+
+    def simulated_time(self) -> float:
+        """The machine-wide simulated clock horizon."""
+        return self.runtime.horizon()

@@ -1,0 +1,893 @@
+"""Distributed query execution over One-Fragment Managers.
+
+Implements the parallelism story of Sections 2.2 and 2.4: a logical
+plan is decomposed into per-fragment subplans that run in parallel on
+the OFMs hosting the fragments; intermediate results live in transient
+query-profile OFMs spawned for the occasion ("OFMs for intermediate
+results"); data moves between processing elements as hash
+repartitioning, broadcasts, or gathers, every byte charged to the
+10 Mbit/s links.
+
+Response time falls out of the process timelines: each OFM's clock
+advances with its local work, transfers arrive after link delays, and
+the coordinating query process finishes when the last input lands —
+the critical path, not the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError, PlanError
+from repro.exec.evaluation import Evaluator
+from repro.exec.expressions import ColumnRef, Comparison, Literal, conjuncts
+from repro.exec.operators import JoinKind, Row, WorkMeter
+from repro.algebra.local_exec import LocalExecutor
+from repro.algebra.optimizer import OptimizedPlan
+from repro.algebra.plan import (
+    AggExpr,
+    AggregateNode,
+    ClosureNode,
+    DistinctNode,
+    FixpointNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    SetOpNode,
+    SharedScanNode,
+    SortNode,
+    ValuesNode,
+)
+from repro.core.catalog import Catalog
+from repro.core.fragmentation import stable_hash
+from repro.ofm.manager import OFMProfile, OneFragmentManager
+from repro.pool.process import PoolProcess
+from repro.pool.runtime import PoolRuntime
+from repro.storage.schema import Schema
+
+#: Size of a dispatched subplan message (query shipping beats data shipping).
+SUBPLAN_BYTES = 512
+#: Broadcasting a side cheaper than repartitioning both: row threshold.
+BROADCAST_ROWS = 200
+
+
+@dataclass
+class Part:
+    """One partition of an intermediate relation, resident at a process."""
+
+    process: PoolProcess
+    rows: list
+
+
+@dataclass
+class DistRelation:
+    """A relation distributed over processes.
+
+    ``partition_cols`` names the output columns the relation is
+    hash-partitioned on (``None`` = unknown/arbitrary placement).
+    """
+
+    parts: list[Part]
+    partition_cols: tuple[int, ...] | None = None
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(part.rows) for part in self.parts)
+
+    def all_rows(self) -> list:
+        rows: list = []
+        for part in self.parts:
+            rows.extend(part.rows)
+        return rows
+
+
+@dataclass
+class ExecutionReport:
+    """What one query cost on the simulated machine."""
+
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    rows_returned: int = 0
+    messages: int = 0
+    bytes_shipped: int = 0
+    fragments_scanned: int = 0
+    fragments_pruned: int = 0
+    index_scans: int = 0
+    temp_ofms: int = 0
+    plan_text: str = ""
+    fired_rules: list[str] = field(default_factory=list)
+
+    @property
+    def response_time(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+
+class DistributedExecutor:
+    """Executes optimized plans across the machine's OFMs.
+
+    Parameters
+    ----------
+    runtime:
+        The POOL-X runtime hosting the OFMs.
+    catalog:
+        The data dictionary (fragment homes).
+    fragment_ofms:
+        Registry mapping OFM name -> live process, maintained by the GDH.
+    compiled_expressions:
+        Expression back-end switch (E5 ablation).
+    """
+
+    def __init__(
+        self,
+        runtime: PoolRuntime,
+        catalog: Catalog,
+        fragment_ofms: dict[str, OneFragmentManager],
+        compiled_expressions: bool = True,
+        broadcast_rows: int = BROADCAST_ROWS,
+        distributed_closure: bool = True,
+    ):
+        self.runtime = runtime
+        self.machine = runtime.machine
+        self.catalog = catalog
+        self.fragment_ofms = fragment_ofms
+        self.evaluator = Evaluator(compiled=compiled_expressions)
+        self.broadcast_rows = broadcast_rows
+        #: Run transitive closure as a parallel distributed fixpoint when
+        #: the input is fragmented (False = gather to one transient OFM).
+        self.distributed_closure = distributed_closure
+        self._temp_counter = 0
+        # Per-execution state:
+        self._query_process: PoolProcess | None = None
+        self._temps: list[OneFragmentManager] = []
+        self._shared: dict[str, DistRelation] = {}
+        self._dispatched: set[str] = set()
+        self._report: ExecutionReport = ExecutionReport()
+
+    # -- entry point -----------------------------------------------------------
+
+    def execute(
+        self, optimized: OptimizedPlan, query_process: PoolProcess
+    ) -> tuple[list[Row], ExecutionReport]:
+        """Run the plan; returns (rows at the query process, report)."""
+        self._query_process = query_process
+        self._temps = []
+        self._shared = {}
+        self._dispatched = set()
+        report = ExecutionReport(
+            started_at=query_process.ready_at,
+            plan_text=optimized.explain(),
+            fired_rules=list(optimized.fired_rules),
+        )
+        self._report = report
+        stats_before = (self.runtime.stats.messages, self.runtime.stats.bytes_moved)
+        try:
+            # Materialize common subexpressions once, in order.
+            for shared_plan in optimized.shared:
+                self._shared[shared_plan.token] = self._exec(shared_plan.plan)
+            relation = self._exec(optimized.plan)
+            gathered = self._gather(relation, query_process)
+            rows = gathered.parts[0].rows
+        finally:
+            for temp in self._temps:
+                temp.destroy()
+        report.finished_at = query_process.ready_at
+        report.rows_returned = len(rows)
+        report.temp_ofms = len(self._temps)
+        report.messages = self.runtime.stats.messages - stats_before[0]
+        report.bytes_shipped = self.runtime.stats.bytes_moved - stats_before[1]
+        return rows, report
+
+    # -- infrastructure ----------------------------------------------------------
+
+    def _spawn_temp(self, start_at: float) -> OneFragmentManager:
+        """A transient query-profile OFM for intermediate results."""
+        name = f"temp-ofm-{self._temp_counter}"
+        self._temp_counter += 1
+        # Single-column ANY schema: transient OFMs hold raw row lists and
+        # only use the table for memory accounting.
+        from repro.storage.schema import Column
+        from repro.storage.types import DataType
+
+        schema = Schema([Column("x", DataType.ANY)])
+        ofm = self.runtime.spawn(
+            OneFragmentManager,
+            name=name,
+            placement=_least_busy(),
+            start_at=start_at,
+            schema=schema,
+            profile=OFMProfile.QUERY,
+        )
+        self._temps.append(ofm)
+        return ofm
+
+    def _dispatch(self, process: PoolProcess) -> None:
+        """First contact with a process in this query ships its subplan."""
+        assert self._query_process is not None
+        if process.name in self._dispatched or process is self._query_process:
+            return
+        self._dispatched.add(process.name)
+        self.runtime.send(self._query_process, process, SUBPLAN_BYTES)
+
+    def _run_local(
+        self,
+        process: PoolProcess,
+        plan: PlanNode,
+        tables: dict[str, list] | None = None,
+        shared: dict[str, list] | None = None,
+    ) -> list:
+        """Run a subplan at *process*, charging its simulated CPU."""
+        self._dispatch(process)
+        meter = WorkMeter()
+        executor = LocalExecutor(
+            tables=tables or {}, shared=shared, evaluator=self.evaluator, meter=meter
+        )
+        rows = executor.run(plan)
+        seconds = self.machine.cpu_time(
+            tuples=int(meter.tuples),
+            hashes=int(meter.hashes),
+            compares=int(meter.compares),
+        )
+        process.charge(seconds, tuples=int(meter.tuples))
+        return rows
+
+    def _row_bytes(self, schema: Schema, rows: list) -> int:
+        """Wire size estimate from actual values (sampled)."""
+        if not rows:
+            return 0
+        sample = rows[: min(len(rows), 50)]
+        per_row = sum(_value_bytes(row) for row in sample) / len(sample)
+        return int(per_row * len(rows)) + 16
+
+    def _ship(
+        self, source: Part, target: PoolProcess, schema: Schema, rows: list
+    ) -> None:
+        """Move rows between processes (no-op co-located, still a message)."""
+        self._dispatch(target)
+        n_bytes = self._row_bytes(schema, rows)
+        self.runtime.send(source.process, target, n_bytes)
+
+    def _gather(self, relation: DistRelation, target: PoolProcess, schema: Schema | None = None) -> DistRelation:
+        """Collect every part at *target* (the fan-in of a query)."""
+        if len(relation.parts) == 1 and relation.parts[0].process is target:
+            return relation
+        schema = schema or _any_schema(1)
+        rows: list = []
+        for part in relation.parts:
+            if part.process is not target:
+                self._ship(part, target, schema, part.rows)
+            rows.extend(part.rows)
+        return DistRelation([Part(target, rows)], None)
+
+    # -- dispatcher ------------------------------------------------------------------
+
+    def _exec(self, plan: PlanNode) -> DistRelation:
+        method = getattr(self, f"_exec_{type(plan).__name__}", None)
+        if method is None:
+            raise ExecutionError(f"no distributed strategy for {type(plan).__name__}")
+        return method(plan)
+
+    # -- leaves -----------------------------------------------------------------------
+
+    def _exec_ValuesNode(self, plan: ValuesNode) -> DistRelation:
+        assert self._query_process is not None
+        return DistRelation([Part(self._query_process, list(plan.rows))], None)
+
+    def _exec_SharedScanNode(self, plan: SharedScanNode) -> DistRelation:
+        relation = self._shared.get(plan.token)
+        if relation is None:
+            raise ExecutionError(
+                f"shared subexpression {plan.token!r} not materialized"
+            )
+        return DistRelation(
+            [Part(part.process, part.rows) for part in relation.parts],
+            relation.partition_cols,
+        )
+
+    def _scan_copies(self, info, fragment_ids: list[int] | None):
+        """Yield the chosen copy OFM for each wanted fragment.
+
+        Read load-balancing across fragment copies: pick the copy whose
+        element is free earliest (Section 2.2's "same copy" wording —
+        different readers may use different copies).
+        """
+        wanted = set(fragment_ids) if fragment_ids is not None else None
+        for fragment in info.fragments:
+            if wanted is not None and fragment.fragment_id not in wanted:
+                self._report.fragments_pruned += 1
+                continue
+            copies = [
+                self.fragment_ofms[ofm_name]
+                for _node, ofm_name in fragment.all_copies()
+                if ofm_name in self.fragment_ofms
+            ]
+            if not copies:
+                raise ExecutionError(
+                    f"fragment OFM {fragment.ofm_name!r} is not running"
+                )
+            yield min(copies, key=lambda c: (c.ready_at, c.name))
+
+    def _exec_ScanNode(self, plan: ScanNode, fragment_ids: list[int] | None = None) -> DistRelation:
+        info = self.catalog.table(plan.table_name)
+        parts: list[Part] = []
+        for ofm in self._scan_copies(info, fragment_ids):
+            self._dispatch(ofm)
+            parts.append(Part(ofm, ofm.scan_rows()))
+            self._report.fragments_scanned += 1
+        if not parts:
+            assert self._query_process is not None
+            parts = [Part(self._query_process, [])]
+        key_cols = info.scheme.key_columns()
+        partition_cols = (
+            tuple(key_cols) if key_cols and fragment_ids is None else None
+        )
+        return DistRelation(parts, partition_cols)
+
+    # -- tuple-wise unary operators -----------------------------------------------------
+
+    def _exec_SelectNode(self, plan: SelectNode) -> DistRelation:
+        # Selection directly over a base table: prune fragments via the
+        # fragmentation scheme, then evaluate at each fragment OFM —
+        # through a local index when one matches the predicate.
+        if isinstance(plan.child, ScanNode) and self.catalog.has_table(
+            plan.child.table_name
+        ):
+            info = self.catalog.table(plan.child.table_name)
+            fragment_ids = None
+            for conjunct in conjuncts(plan.predicate):
+                if (
+                    isinstance(conjunct, Comparison)
+                    and conjunct.op == "="
+                    and isinstance(conjunct.left, ColumnRef)
+                    and isinstance(conjunct.right, Literal)
+                ):
+                    pruned = info.scheme.prunable_fragments(
+                        conjunct.left.index, conjunct.right.value
+                    )
+                    if pruned is not None:
+                        fragment_ids = pruned
+                        break
+            parts: list[Part] = []
+            for ofm in self._scan_copies(info, fragment_ids):
+                self._dispatch(ofm)
+                rows, used_index = ofm.filtered_scan(plan.predicate)
+                if used_index:
+                    self._report.index_scans += 1
+                self._report.fragments_scanned += 1
+                parts.append(Part(ofm, rows))
+            if not parts:
+                assert self._query_process is not None
+                parts = [Part(self._query_process, [])]
+            key_cols = info.scheme.key_columns()
+            partition_cols = (
+                tuple(key_cols) if key_cols and fragment_ids is None else None
+            )
+            return DistRelation(parts, partition_cols)
+        child = self._exec(plan.child)
+        template = SelectNode(_input_scan(plan.child.schema), plan.predicate)
+        parts = [
+            Part(
+                part.process,
+                self._run_local(part.process, template, {"__in": part.rows}),
+            )
+            for part in child.parts
+        ]
+        return DistRelation(parts, child.partition_cols)
+
+    def _exec_ProjectNode(self, plan: ProjectNode) -> DistRelation:
+        child = self._exec(plan.child)
+        template = ProjectNode(
+            _input_scan(plan.child.schema), plan.exprs, plan.names
+        )
+        parts = [
+            Part(
+                part.process,
+                self._run_local(part.process, template, {"__in": part.rows}),
+            )
+            for part in child.parts
+        ]
+        partition_cols = _remap_partition(child.partition_cols, plan)
+        return DistRelation(parts, partition_cols)
+
+    def _exec_LimitNode(self, plan: LimitNode) -> DistRelation:
+        child = self._exec(plan.child)
+        assert self._query_process is not None
+        take = None if plan.limit is None else plan.limit + plan.offset
+        if take is not None and len(child.parts) > 1:
+            # Each part can cap locally before shipping.
+            child = DistRelation(
+                [Part(p.process, p.rows[:take]) for p in child.parts],
+                child.partition_cols,
+            )
+        gathered = self._gather(child, self._query_process, plan.schema)
+        template = LimitNode(_input_scan(plan.schema), plan.limit, plan.offset)
+        rows = self._run_local(
+            self._query_process, template, {"__in": gathered.parts[0].rows}
+        )
+        return DistRelation([Part(self._query_process, rows)], None)
+
+    def _exec_SortNode(self, plan: SortNode) -> DistRelation:
+        child = self._exec(plan.child)
+        assert self._query_process is not None
+        gathered = self._gather(child, self._query_process, plan.schema)
+        template = SortNode(_input_scan(plan.schema), plan.keys)
+        rows = self._run_local(
+            self._query_process, template, {"__in": gathered.parts[0].rows}
+        )
+        return DistRelation([Part(self._query_process, rows)], None)
+
+    def _exec_DistinctNode(self, plan: DistinctNode) -> DistRelation:
+        child = self._exec(plan.child)
+        schema = plan.schema
+        template = DistinctNode(_input_scan(schema))
+        if len(child.parts) == 1:
+            part = child.parts[0]
+            rows = self._run_local(part.process, template, {"__in": part.rows})
+            return DistRelation([Part(part.process, rows)], child.partition_cols)
+        # Repartition by whole row so duplicates meet, then local dedup.
+        all_cols = tuple(range(len(schema)))
+        repartitioned = self._repartition(child, all_cols, schema)
+        parts = [
+            Part(p.process, self._run_local(p.process, template, {"__in": p.rows}))
+            for p in repartitioned.parts
+        ]
+        return DistRelation(parts, all_cols)
+
+    # -- repartitioning machinery ----------------------------------------------------------
+
+    def _repartition(
+        self,
+        relation: DistRelation,
+        key_cols: tuple[int, ...],
+        schema: Schema,
+        targets: list[PoolProcess] | None = None,
+    ) -> DistRelation:
+        """Hash-shuffle *relation* on *key_cols* onto *targets*.
+
+        Default targets are the relation's own processes (no new OFMs);
+        rows whose destination equals their source do not cross the
+        network.
+        """
+        if targets is None:
+            targets = [part.process for part in relation.parts]
+        k = len(targets)
+        if k == 1:
+            return self._gather(relation, targets[0], schema)
+        buckets: list[list] = [[] for _ in range(k)]
+        for part in relation.parts:
+            outgoing: list[list] = [[] for _ in range(k)]
+            for row in part.rows:
+                index = _hash_key(row, key_cols) % k
+                outgoing[index].append(row)
+            # Hash-splitting is CPU work at the source.
+            seconds = self.machine.cpu_time(hashes=len(part.rows))
+            part.process.charge(seconds)
+            for index, rows in enumerate(outgoing):
+                if not rows:
+                    continue
+                if targets[index] is part.process:
+                    buckets[index].extend(rows)
+                else:
+                    self._ship(part, targets[index], schema, rows)
+                    buckets[index].extend(rows)
+        parts = [Part(target, bucket) for target, bucket in zip(targets, buckets)]
+        return DistRelation(parts, key_cols)
+
+    def _broadcast(
+        self, relation: DistRelation, targets: list[PoolProcess], schema: Schema
+    ) -> list[list]:
+        """Copy the whole relation to every target; returns rows per target."""
+        if len(relation.parts) > 1:
+            # Assemble at one site first so transfer costs are honest.
+            relation = self._gather(relation, relation.parts[0].process, schema)
+        source = relation.parts[0]
+        rows = source.rows
+        result = []
+        for target in targets:
+            if target is not source.process:
+                self._ship(source, target, schema, rows)
+            result.append(rows)
+        return result
+
+    # -- joins ----------------------------------------------------------------------------
+
+    def _exec_JoinNode(self, plan: JoinNode) -> DistRelation:
+        left = self._exec(plan.left)
+        right = self._exec(plan.right)
+        left_schema, right_schema = plan.left.schema, plan.right.schema
+        left_keys, right_keys, _residual = plan.equi_keys()
+        template = JoinNode(
+            _input_scan(left_schema, "__left"),
+            _input_scan(right_schema, "__right"),
+            plan.condition,
+            plan.kind,
+        )
+
+        def local_join(process, left_rows, right_rows) -> Part:
+            rows = self._run_local(
+                process, template, {"__left": left_rows, "__right": right_rows}
+            )
+            return Part(process, rows)
+
+        # Strategy 1: broadcast a small right side (valid for all kinds
+        # here because SEMI/ANTI/LEFT_OUTER keep the left partitioned
+        # and need the *whole* right everywhere).
+        broadcast_ok = right.total_rows <= self.broadcast_rows or not left_keys
+        if plan.kind is JoinKind.INNER and not left_keys:
+            broadcast_ok = True
+        if broadcast_ok:
+            targets = [part.process for part in left.parts]
+            right_copies = self._broadcast(right, targets, right_schema)
+            parts = [
+                local_join(part.process, part.rows, copy)
+                for part, copy in zip(left.parts, right_copies)
+            ]
+            partition = (
+                left.partition_cols
+                if plan.kind in (JoinKind.SEMI, JoinKind.ANTI)
+                else left.partition_cols  # left columns keep their positions
+            )
+            return DistRelation(parts, partition)
+
+        # Strategy 2: already co-partitioned on the join keys.
+        co_partitioned = (
+            left.partition_cols == tuple(left_keys)
+            and right.partition_cols == tuple(right_keys)
+            and len(left.parts) == len(right.parts)
+        )
+        if not co_partitioned:
+            left = self._repartition(left, tuple(left_keys), left_schema)
+            targets = [part.process for part in left.parts]
+            right = self._repartition(
+                right, tuple(right_keys), right_schema, targets=targets
+            )
+        parts = []
+        for left_part, right_part in zip(left.parts, right.parts):
+            right_rows = right_part.rows
+            if right_part.process is not left_part.process:
+                # Co-partitioned but on different elements: ship the
+                # smaller stream to the larger one's element.
+                self._ship(right_part, left_part.process, right_schema, right_rows)
+            parts.append(local_join(left_part.process, left_part.rows, right_rows))
+        partition = tuple(left_keys) if left_keys else None
+        return DistRelation(parts, partition)
+
+    # -- aggregation -------------------------------------------------------------------------
+
+    def _exec_AggregateNode(self, plan: AggregateNode) -> DistRelation:
+        child = self._exec(plan.child)
+        child_schema = plan.child.schema
+        assert self._query_process is not None
+
+        if any(agg.distinct for agg in plan.aggregates) or len(child.parts) == 1:
+            # DISTINCT aggregates cannot be merged from partials: gather.
+            target = (
+                child.parts[0].process
+                if len(child.parts) == 1
+                else self._query_process
+            )
+            gathered = self._gather(child, target, child_schema)
+            template = AggregateNode(
+                _input_scan(child_schema), plan.group_cols, plan.aggregates, plan.names
+            )
+            rows = self._run_local(target, template, {"__in": gathered.parts[0].rows})
+            return DistRelation([Part(target, rows)], None)
+
+        # Two-phase aggregation: local partials, shuffle, merge.
+        partial_aggs, merge_builder = _decompose_aggregates(plan.aggregates)
+        partial_template = AggregateNode(
+            _input_scan(child_schema), plan.group_cols, partial_aggs
+        )
+        partial_parts = [
+            Part(
+                part.process,
+                self._run_local(part.process, partial_template, {"__in": part.rows}),
+            )
+            for part in child.parts
+        ]
+        n_groups = len(plan.group_cols)
+        partial_schema = partial_template.schema
+        partials = DistRelation(partial_parts, None)
+
+        if n_groups == 0:
+            merged = self._gather(partials, self._query_process, partial_schema)
+            final_plan = merge_builder(partial_schema, n_groups, plan.names)
+            rows = self._run_local(
+                self._query_process, final_plan, {"__in": merged.parts[0].rows}
+            )
+            return DistRelation([Part(self._query_process, rows)], None)
+
+        # Shuffle partials by group key so each group merges at one site.
+        group_positions = tuple(range(n_groups))
+        shuffled = self._repartition(partials, group_positions, partial_schema)
+        final_plan = merge_builder(partial_schema, n_groups, plan.names)
+        parts = [
+            Part(
+                part.process,
+                self._run_local(part.process, final_plan, {"__in": part.rows}),
+            )
+            for part in shuffled.parts
+        ]
+        return DistRelation(parts, group_positions)
+
+    # -- set operations -------------------------------------------------------------------------
+
+    def _exec_SetOpNode(self, plan: SetOpNode) -> DistRelation:
+        left = self._exec(plan.left)
+        right = self._exec(plan.right)
+        schema = plan.schema
+        if plan.op == "union_all":
+            return DistRelation(left.parts + right.parts, None)
+        all_cols = tuple(range(len(schema)))
+        if plan.op == "union":
+            combined = DistRelation(left.parts + right.parts, None)
+            repartitioned = self._repartition(combined, all_cols, schema)
+            template = DistinctNode(_input_scan(schema))
+            parts = [
+                Part(p.process, self._run_local(p.process, template, {"__in": p.rows}))
+                for p in repartitioned.parts
+            ]
+            return DistRelation(parts, all_cols)
+        # intersect / except: co-partition both sides by whole row.
+        left = self._repartition(left, all_cols, schema)
+        targets = [part.process for part in left.parts]
+        right = self._repartition(right, all_cols, schema, targets=targets)
+        template = SetOpNode(
+            plan.op, _input_scan(schema, "__left"), _input_scan(schema, "__right")
+        )
+        parts = []
+        for left_part, right_part in zip(left.parts, right.parts):
+            rows = self._run_local(
+                left_part.process,
+                template,
+                {"__left": left_part.rows, "__right": right_part.rows},
+            )
+            parts.append(Part(left_part.process, rows))
+        return DistRelation(parts, all_cols)
+
+    # -- recursion ----------------------------------------------------------------------------------
+
+    def _exec_ClosureNode(self, plan: ClosureNode) -> DistRelation:
+        child = self._exec(plan.child)
+        assert self._query_process is not None
+        if (
+            self.distributed_closure
+            and plan.mode == "seminaive"
+            and len(child.parts) > 1
+            and child.total_rows > 0
+        ):
+            return self._distributed_closure(child, plan.child.schema)
+        site = self._spawn_temp(self._query_process.ready_at)
+        gathered = self._gather(child, site, plan.child.schema)
+        template = ClosureNode(_input_scan(plan.child.schema), plan.mode)
+        rows = self._run_local(site, template, {"__in": gathered.parts[0].rows})
+        return DistRelation([Part(site, rows)], None)
+
+    def _distributed_closure(
+        self, edges: DistRelation, schema: Schema
+    ) -> DistRelation:
+        """Parallel semi-naive transitive closure across the fragments.
+
+        Each round: the delta is hash-repartitioned on its *destination*
+        column to meet the edge fragments (hash-partitioned on their
+        *source* column — same hash, so ``delta.dst = edge.src`` pairs
+        co-locate), joined locally in parallel, and the derived pairs are
+        repartitioned on the whole row for distributed duplicate
+        elimination against per-site totals.  This extends the OFM's
+        closure operator to the multi-computer — the project's
+        "parallelism for inferencing" goal.
+        """
+        from repro.exec.expressions import ColumnRef, Comparison
+
+        # Edges keyed by source at their (re)partition sites.
+        edges_by_src = self._repartition(edges, (0,), schema)
+        sites = [part.process for part in edges_by_src.parts]
+        k = len(sites)
+
+        join_template = ProjectNode(
+            JoinNode(
+                _input_scan(schema, "__delta"),
+                _input_scan(schema, "__edges"),
+                Comparison("=", ColumnRef(1), ColumnRef(2)),
+            ),
+            [ColumnRef(0), ColumnRef(3)],
+            list(schema.names()),
+        )
+
+        # Totals live partitioned by whole-row hash over the same sites.
+        total_rel = self._repartition(
+            DistRelation(
+                [Part(p.process, list(p.rows)) for p in edges.parts], None
+            ),
+            (0, 1),
+            schema,
+            targets=sites,
+        )
+        totals: list[set] = []
+        delta_parts: list[Part] = []
+        for part in total_rel.parts:
+            unique = set(map(tuple, part.rows))
+            part.process.charge(self.machine.cpu_time(hashes=len(part.rows)))
+            totals.append(unique)
+            delta_parts.append(Part(part.process, list(unique)))
+        delta = DistRelation(delta_parts, None)
+
+        rounds = 0
+        while delta.total_rows:
+            rounds += 1
+            if rounds > 100_000:
+                raise ExecutionError("distributed closure failed to converge")
+            delta_by_dst = self._repartition(delta, (1,), schema, targets=sites)
+            derived_parts = []
+            for delta_part, edge_part in zip(delta_by_dst.parts, edges_by_src.parts):
+                rows = self._run_local(
+                    delta_part.process,
+                    join_template,
+                    {"__delta": delta_part.rows, "__edges": edge_part.rows},
+                )
+                derived_parts.append(Part(delta_part.process, rows))
+            derived = self._repartition(
+                DistRelation(derived_parts, None), (0, 1), schema, targets=sites
+            )
+            fresh_parts = []
+            for index, part in enumerate(derived.parts):
+                part.process.charge(self.machine.cpu_time(hashes=len(part.rows)))
+                fresh = []
+                seen = totals[index]
+                for row in part.rows:
+                    pair = tuple(row)
+                    if pair not in seen:
+                        seen.add(pair)
+                        fresh.append(pair)
+                fresh_parts.append(Part(part.process, fresh))
+            delta = DistRelation(fresh_parts, None)
+
+        result_parts = [
+            Part(site, sorted(total)) for site, total in zip(sites, totals)
+        ]
+        return DistRelation(result_parts, (0, 1))
+
+    def _exec_FixpointNode(self, plan: FixpointNode) -> DistRelation:
+        """Recursion runs at one transient OFM; every base relation the
+        step touches is gathered there first."""
+        assert self._query_process is not None
+        site = self._spawn_temp(self._query_process.ready_at)
+        tables: dict[str, list] = {}
+        for node in plan.walk():
+            if isinstance(node, ScanNode) and node.table_name not in tables:
+                scanned = self._exec_ScanNode(node)
+                tables[node.table_name] = self._gather(
+                    scanned, site, node.schema
+                ).parts[0].rows
+        shared_rows = {
+            token: self._gather(rel, site, _any_schema(1)).parts[0].rows
+            for token, rel in self._shared.items()
+            if any(
+                isinstance(n, SharedScanNode) and n.token == token
+                for n in plan.walk()
+            )
+        }
+        rows = self._run_local(site, plan, tables, shared_rows)
+        return DistRelation([Part(site, rows)], None)
+
+
+# ---------------------------------------------------------------------------
+# Helpers.
+# ---------------------------------------------------------------------------
+
+
+def _input_scan(schema: Schema, name: str = "__in") -> ScanNode:
+    """A synthetic scan bound to shipped-in rows at execution time."""
+    return ScanNode(name, schema)
+
+
+def _any_schema(width: int) -> Schema:
+    from repro.storage.schema import Column
+    from repro.storage.types import DataType
+
+    return Schema([Column(f"x{i}", DataType.ANY) for i in range(width)])
+
+
+def _value_bytes(row: tuple) -> int:
+    total = 0
+    for value in row:
+        if value is None or isinstance(value, bool):
+            total += 1
+        elif isinstance(value, int):
+            total += 4
+        elif isinstance(value, float):
+            total += 8
+        elif isinstance(value, str):
+            total += 2 + len(value)
+        else:
+            total += 8
+    return total
+
+
+def _hash_key(row: tuple, key_cols: tuple[int, ...]) -> int:
+    value = 0
+    for col in key_cols:
+        value = (value * 1000003) ^ stable_hash(row[col])
+    return value & 0x7FFFFFFF
+
+
+def _remap_partition(
+    partition_cols: tuple[int, ...] | None, plan: ProjectNode
+) -> tuple[int, ...] | None:
+    """Partitioning survives a projection iff the key columns pass
+    through as plain column references."""
+    if partition_cols is None:
+        return None
+    mapping: dict[int, int] = {}
+    for position, expr in enumerate(plan.exprs):
+        if isinstance(expr, ColumnRef) and expr.index not in mapping:
+            mapping[expr.index] = position
+    try:
+        return tuple(mapping[c] for c in partition_cols)
+    except KeyError:
+        return None
+
+
+def _least_busy():
+    from repro.pool.placement import LeastLoaded
+
+    return LeastLoaded()
+
+
+def _decompose_aggregates(aggregates: tuple[AggExpr, ...]):
+    """Split aggregates into partial and merge phases.
+
+    Returns ``(partial_aggs, merge_builder)`` where *merge_builder*
+    produces the final plan over the partial schema:
+    ``merge_builder(partial_schema, n_groups, names) -> PlanNode``.
+
+    Decompositions: COUNT -> SUM of counts; SUM/MIN/MAX -> same;
+    AVG -> SUM(sums)/SUM(counts).
+    """
+    partial_aggs: list[AggExpr] = []
+    #: per original aggregate: ('direct', partial_index, merge_func) or
+    #: ('avg', sum_index, count_index)
+    recipe: list[tuple] = []
+    for aggregate in aggregates:
+        if aggregate.func == "count":
+            partial_aggs.append(aggregate)
+            recipe.append(("direct", len(partial_aggs) - 1, "sum"))
+        elif aggregate.func in ("sum", "min", "max"):
+            partial_aggs.append(aggregate)
+            recipe.append(("direct", len(partial_aggs) - 1, aggregate.func))
+        elif aggregate.func == "avg":
+            partial_aggs.append(AggExpr("sum", aggregate.arg))
+            partial_aggs.append(AggExpr("count", aggregate.arg))
+            recipe.append(("avg", len(partial_aggs) - 2, len(partial_aggs) - 1))
+        else:  # pragma: no cover - AggExpr validates funcs
+            raise PlanError(f"cannot decompose aggregate {aggregate.func}")
+
+    def merge_builder(partial_schema: Schema, n_groups: int, names) -> PlanNode:
+        from repro.exec.expressions import Arithmetic
+
+        source = _input_scan(partial_schema)
+        merge_aggs: list[AggExpr] = []
+        merge_position: dict[int, int] = {}
+        for partial_index in range(len(partial_aggs)):
+            column = ColumnRef(n_groups + partial_index)
+            func = "sum"
+            for kind, *info in recipe:
+                if kind == "direct" and info[0] == partial_index:
+                    func = info[1]
+            merge_aggs.append(AggExpr(func, column))
+            merge_position[partial_index] = n_groups + len(merge_aggs) - 1
+        merged = AggregateNode(source, tuple(range(n_groups)), merge_aggs)
+        # Final projection assembles original outputs (computing AVG).
+        exprs: list = [ColumnRef(i) for i in range(n_groups)]
+        for kind, *info in recipe:
+            if kind == "direct":
+                exprs.append(ColumnRef(merge_position[info[0]]))
+            else:
+                sum_col = ColumnRef(merge_position[info[0]])
+                count_col = ColumnRef(merge_position[info[1]])
+                exprs.append(Arithmetic("/", sum_col, count_col))
+        return ProjectNode(merged, exprs, list(names))
+
+    return tuple(partial_aggs), merge_builder

@@ -1,0 +1,190 @@
+"""Fragment-granularity two-phase locking with deadlock detection.
+
+Section 2.2: "evaluation of several queries and updates can be done in
+parallel, except for accesses to the same copy of base fragments of the
+database" — concurrency control serializes exactly those accesses.
+Readers share (S), writers exclude (X), at the granularity of one
+fragment (= one OFM).
+
+The engine is driven synchronously, so a conflicting request cannot
+truly block the caller; instead :meth:`LockManager.acquire` raises
+:class:`WouldBlock` after registering the request in a FIFO wait queue
+and the wait-for graph.  The workload driver re-issues the statement
+when the holder finishes; simulated waiting time is accounted because a
+later grant returns the resource's release timestamp, to which the
+waiter's clock must advance.  A request that would close a cycle in the
+wait-for graph raises :class:`~repro.errors.DeadlockError` instead (the
+requester is the victim).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError, TransactionError
+
+Resource = tuple[str, int]  # (table name, fragment id)
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class WouldBlock(TransactionError):
+    """The request must wait for other transactions to release."""
+
+    def __init__(self, txn_id: int, resource: Resource, holders: set[int]):
+        super().__init__(
+            f"transaction {txn_id} must wait for {sorted(holders)}"
+            f" on fragment {resource}"
+        )
+        self.txn_id = txn_id
+        self.resource = resource
+        self.holders = holders
+
+
+@dataclass
+class _LockState:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: deque = field(default_factory=deque)  # (txn_id, mode)
+    last_release_time: float = 0.0
+
+
+def _compatible(requested: LockMode, held: LockMode) -> bool:
+    return requested is LockMode.SHARED and held is LockMode.SHARED
+
+
+class LockManager:
+    """S/X locks per fragment, FIFO queues, wait-for-graph deadlock checks."""
+
+    def __init__(self):
+        self._locks: dict[Resource, _LockState] = {}
+        #: txn -> set of txns it waits for (live edges only)
+        self._wait_for: dict[int, set[int]] = {}
+        self.deadlocks_detected = 0
+        self.conflicts = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def holders(self, resource: Resource) -> dict[int, LockMode]:
+        state = self._locks.get(resource)
+        return dict(state.holders) if state else {}
+
+    def locks_of(self, txn_id: int) -> list[Resource]:
+        return [
+            resource
+            for resource, state in self._locks.items()
+            if txn_id in state.holders
+        ]
+
+    # -- acquisition -------------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: Resource, mode: LockMode) -> float:
+        """Grant the lock or raise WouldBlock / DeadlockError.
+
+        On success returns the resource's last release time: the
+        requester's simulated clock must be advanced to at least this
+        value (it logically waited for the previous holder).
+        """
+        state = self._locks.setdefault(resource, _LockState())
+        held = state.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE or held is mode:
+            return state.last_release_time  # re-entrant / covered
+        conflicting = {
+            other
+            for other, other_mode in state.holders.items()
+            if other != txn_id and not _compatible(mode, other_mode)
+        }
+        if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            # Upgrade: allowed only as the sole holder.
+            if not conflicting:
+                state.holders[txn_id] = LockMode.EXCLUSIVE
+                return state.last_release_time
+        # FIFO fairness applies only to *incompatible* waiters ahead of us
+        # (a shared request may join other shared requests).
+        ahead: list[tuple[int, LockMode]] = []
+        for waiting, waiting_mode in state.waiters:
+            if waiting == txn_id:
+                break
+            ahead.append((waiting, waiting_mode))
+        blocking_waiters = {
+            waiting
+            for waiting, waiting_mode in ahead
+            if not _compatible(mode, waiting_mode)
+        }
+        if not conflicting and not blocking_waiters:
+            self._remove_waiter(state, txn_id)
+            self._clear_waits(txn_id)
+            state.holders[txn_id] = (
+                LockMode.EXCLUSIVE if held is LockMode.SHARED else mode
+            )
+            return state.last_release_time
+        # Conflict: check for deadlock before registering the wait.
+        self.conflicts += 1
+        blockers = conflicting | blocking_waiters
+        if self._would_deadlock(txn_id, blockers):
+            self.deadlocks_detected += 1
+            self._clear_waits(txn_id)
+            self._remove_waiter(state, txn_id)
+            raise DeadlockError(
+                f"transaction {txn_id} would deadlock on fragment {resource};"
+                " chosen as victim"
+            )
+        self._wait_for.setdefault(txn_id, set()).update(blockers)
+        if all(waiting != txn_id for waiting, _ in state.waiters):
+            state.waiters.append((txn_id, mode))
+        raise WouldBlock(txn_id, resource, blockers or set(state.holders))
+
+    def _would_deadlock(self, txn_id: int, new_blockers: set[int]) -> bool:
+        """Would adding edges txn_id -> new_blockers close a cycle?"""
+        # DFS from each blocker through existing wait-for edges.
+        stack = list(new_blockers)
+        seen: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current == txn_id:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._wait_for.get(current, ()))
+        return False
+
+    # -- release --------------------------------------------------------------------
+
+    def release_all(self, txn_id: int, release_time: float) -> list[Resource]:
+        """Drop every lock of *txn_id*; stamps the release time.
+
+        Returns the resources that now have runnable waiters (the
+        driver uses this to know which sessions to retry).
+        """
+        unblocked: list[Resource] = []
+        for resource, state in list(self._locks.items()):
+            if txn_id in state.holders:
+                del state.holders[txn_id]
+                state.last_release_time = max(state.last_release_time, release_time)
+                if state.waiters:
+                    unblocked.append(resource)
+            self._remove_waiter(state, txn_id)
+            if not state.holders and not state.waiters:
+                # Keep the entry (it carries last_release_time) — cheap.
+                pass
+        self._clear_waits(txn_id)
+        # Remove txn from others' blocker sets.
+        for waiting in self._wait_for.values():
+            waiting.discard(txn_id)
+        return unblocked
+
+    def _remove_waiter(self, state: _LockState, txn_id: int) -> None:
+        state.waiters = deque(
+            (waiting, mode) for waiting, mode in state.waiters if waiting != txn_id
+        )
+
+    def _clear_waits(self, txn_id: int) -> None:
+        self._wait_for.pop(txn_id, None)
+
+    def waiting_transactions(self) -> set[int]:
+        return set(self._wait_for)

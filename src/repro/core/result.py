@@ -1,0 +1,63 @@
+"""Query results returned by the PRISMA facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.executor import ExecutionReport
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one statement.
+
+    ``rows``/``columns`` are filled for queries; ``affected_rows`` for
+    DML; ``report`` carries the simulated-machine accounting whenever a
+    plan actually executed.
+    """
+
+    kind: str  # 'select' | 'insert' | 'update' | 'delete' | 'ddl' | 'txn' | ...
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    affected_rows: int = 0
+    message: str = ""
+    report: ExecutionReport | None = None
+    prismalog_stats: dict | None = None
+
+    @property
+    def response_time(self) -> float:
+        """Simulated response time in seconds (0 if nothing executed)."""
+        return self.report.response_time if self.report else 0.0
+
+    def scalar(self):
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)} row(s)"
+            )
+        return self.rows[0][0]
+
+    def format_table(self, max_rows: int = 50) -> str:
+        """Human-readable rendering (used by the examples)."""
+        if not self.columns:
+            return self.message or f"{self.kind}: {self.affected_rows} row(s)"
+        header = self.columns
+        body = [
+            [("NULL" if v is None else str(v)) for v in row]
+            for row in self.rows[:max_rows]
+        ]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            " | ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            for row in body
+        )
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Two-phase commit across One-Fragment Managers.
+
+The Global Data Handler coordinates: phase one sends PREPARE to every
+participant OFM, which forces its WAL and votes; the decision is forced
+to the coordinator's durable commit log (on a disk-equipped element);
+phase two distributes the decision.  Single-participant transactions
+take the one-phase fast path (no vote round needed when there is nobody
+to disagree with).
+
+All message and log-force costs run on the simulated clock: the
+coordinator's process advances by the two message rounds plus the log
+force, the participants by their local forces — this is what the
+E9 benchmark measures as "commit overhead".
+"""
+
+from __future__ import annotations
+
+import ast as _pyast
+from dataclasses import dataclass
+
+from repro.errors import RecoveryError
+from repro.machine.machine import Machine
+from repro.pool.process import PoolProcess
+from repro.pool.runtime import PoolRuntime
+from repro.core.transactions import Transaction
+
+#: Size of 2PC control messages (prepare / vote / decision / ack).
+CONTROL_MESSAGE_BYTES = 64
+
+
+class CommitLog:
+    """The coordinator's durable transaction-outcome log.
+
+    Presumed abort: only COMMIT decisions must be logged before phase
+    two; an unknown transaction is aborted.  (Abort decisions are logged
+    too, lazily, so restart reporting can distinguish them.)
+    """
+
+    def __init__(self, machine: Machine, coordinator_node: int):
+        self.machine = machine
+        disk_node = machine.nearest_disk_node(coordinator_node)
+        self.disk = machine.nodes[disk_node].disk
+        assert self.disk is not None
+        self.coordinator_node = coordinator_node
+
+    def record(self, txn_id: int, outcome: str) -> float:
+        """Durably record the decision; returns the simulated cost."""
+        payload = repr((txn_id, outcome)).encode("utf-8")
+        network = self.machine.transfer_time(
+            self.coordinator_node, self.disk.node, len(payload)
+        )
+        return network + self.disk.write(f"gdhlog/{txn_id}", payload, sequential=True)
+
+    def outcomes(self) -> dict[int, str]:
+        """All durable decisions (used by restart recovery)."""
+        result: dict[int, str] = {}
+        for key in self.disk.keys("gdhlog/"):
+            payload, _ = self.disk.read(key, sequential=True)
+            try:
+                txn_id, outcome = _pyast.literal_eval(payload.decode("utf-8"))
+            except (ValueError, SyntaxError) as exc:
+                raise RecoveryError(f"corrupt commit log entry {key}: {exc}") from None
+            result[int(txn_id)] = str(outcome)
+        return result
+
+    def outcome_of(self, txn_id: int) -> str:
+        key = f"gdhlog/{txn_id}"
+        if key not in self.disk:
+            return "abort"  # presumed abort
+        payload, _ = self.disk.read(key, sequential=True)
+        _, outcome = _pyast.literal_eval(payload.decode("utf-8"))
+        return str(outcome)
+
+
+@dataclass
+class CommitOutcome:
+    """What one commit cost, for reporting."""
+
+    txn_id: int
+    committed: bool
+    participants: int
+    messages: int
+    completed_at: float
+    one_phase: bool
+
+
+class TwoPhaseCommit:
+    """Coordinator-side protocol driver."""
+
+    def __init__(
+        self,
+        runtime: PoolRuntime,
+        commit_log: CommitLog,
+        allow_one_phase: bool = True,
+    ):
+        self.runtime = runtime
+        self.commit_log = commit_log
+        self.allow_one_phase = allow_one_phase
+
+    def commit(self, txn: Transaction, coordinator: PoolProcess) -> CommitOutcome:
+        """Run the protocol; returns the outcome (always commits here —
+        participant vote failures would surface as exceptions from
+        prepare, which the GDH converts into aborts)."""
+        # Read-only participant optimization: fragments the transaction
+        # touched but never changed hold no transaction state and need
+        # neither votes nor decisions.
+        participants = [
+            ofm
+            for ofm in txn.participants.values()
+            if ofm.has_transaction_state(txn.txn_id)
+        ]
+        messages = 0
+
+        if not participants:
+            # Read-only: nothing to make durable.
+            return CommitOutcome(
+                txn.txn_id, True, 0, 0, coordinator.ready_at, one_phase=True
+            )
+
+        if len(participants) == 1 and self.allow_one_phase:
+            # One-phase: the single participant's force IS the decision.
+            ofm = participants[0]
+            self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
+            ofm.commit(txn.txn_id)
+            arrival = self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES)
+            coordinator.advance_to(arrival)
+            coordinator.charge(self.commit_log.record(txn.txn_id, "commit"))
+            return CommitOutcome(
+                txn.txn_id, True, 1, 2, coordinator.ready_at, one_phase=True
+            )
+
+        # Phase one: prepare round.
+        vote_arrivals = []
+        for ofm in participants:
+            self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
+            ofm.prepare(txn.txn_id)
+            vote_arrivals.append(
+                self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES)
+            )
+            messages += 2
+        coordinator.advance_to(max(vote_arrivals))
+
+        # Decision: force to the commit log before telling anyone.
+        coordinator.charge(self.commit_log.record(txn.txn_id, "commit"))
+
+        # Phase two: decision + acks.
+        ack_arrivals = []
+        for ofm in participants:
+            self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
+            ofm.commit(txn.txn_id)
+            ack_arrivals.append(
+                self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES)
+            )
+            messages += 2
+        coordinator.advance_to(max(ack_arrivals))
+        return CommitOutcome(
+            txn.txn_id,
+            True,
+            len(participants),
+            messages,
+            coordinator.ready_at,
+            one_phase=False,
+        )
+
+    def abort(self, txn: Transaction, coordinator: PoolProcess) -> CommitOutcome:
+        """Distribute an abort decision and undo at every participant."""
+        participants = [
+            ofm
+            for ofm in txn.participants.values()
+            if ofm.has_transaction_state(txn.txn_id)
+        ]
+        messages = 0
+        coordinator.charge(self.commit_log.record(txn.txn_id, "abort"))
+        arrivals = [coordinator.ready_at]
+        for ofm in participants:
+            self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
+            ofm.abort(txn.txn_id)
+            arrivals.append(self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES))
+            messages += 2
+        coordinator.advance_to(max(arrivals))
+        return CommitOutcome(
+            txn.txn_id,
+            False,
+            len(participants),
+            messages,
+            coordinator.ready_at,
+            one_phase=False,
+        )

@@ -1,0 +1,145 @@
+"""Cooperative multi-session transaction driver.
+
+The engine is synchronous (one Python thread), so concurrent clients
+are *interleaved*: the driver round-robins statements across sessions;
+a statement that must wait for a lock raises
+:class:`~repro.core.locks.WouldBlock` and the driver parks that session
+until the blocking transaction finishes; a deadlock victim's
+transaction is retried from the top.  Simulated time does the rest —
+waiters' clocks advance to the holder's release time, so throughput and
+response times come out of the critical path, not the driver's loop
+order.
+
+This is the harness behind experiment E8 ("evaluation of several
+queries and updates can be done in parallel, except for accesses to the
+same copy of base fragments").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError
+from repro.core.database import PrismaDB, Session
+from repro.core.locks import WouldBlock
+
+
+@dataclass
+class DriverReport:
+    """What an interleaved run did, on the simulated clock."""
+
+    transactions_committed: int = 0
+    deadlocks: int = 0
+    lock_waits: int = 0
+    statements_executed: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    per_session_finish: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def makespan_s(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def throughput_tps(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.transactions_committed / self.makespan_s
+
+
+class _ClientState:
+    """One client: a queue of transactions, each a list of statements."""
+
+    def __init__(self, session: Session, transactions: list[list[str]]):
+        self.session = session
+        self.transactions = transactions
+        self.txn_index = 0
+        self.stmt_index = -1  # -1 = must BEGIN next
+        self.parked = False
+        self.retries = 0
+
+    @property
+    def done(self) -> bool:
+        return self.txn_index >= len(self.transactions)
+
+
+class InterleavedDriver:
+    """Runs transaction scripts from many sessions concurrently."""
+
+    def __init__(self, db: PrismaDB, max_deadlock_retries: int = 25):
+        self.db = db
+        self.max_deadlock_retries = max_deadlock_retries
+
+    def run(self, scripts: list[list[list[str]]]) -> DriverReport:
+        """*scripts[i]* is client i's list of transactions (statement
+        lists).  Returns the aggregated report."""
+        clients = [
+            _ClientState(self.db.session(), transactions)
+            for transactions in scripts
+        ]
+        report = DriverReport()
+        report.started_at = min(
+            (client.session.clock for client in clients), default=0.0
+        )
+        stuck_rounds = 0
+        while any(not client.done for client in clients):
+            progressed = False
+            for client in clients:
+                if client.done or client.parked:
+                    continue
+                progressed = self._step(client, report) or progressed
+            # End of round: locks may have been released by commits this
+            # round, so parked sessions get another chance.
+            for client in clients:
+                client.parked = False
+            stuck_rounds = 0 if progressed else stuck_rounds + 1
+            if stuck_rounds > 3:
+                raise DeadlockError(
+                    "interleaved driver made no progress for several rounds"
+                    " (undetected deadlock?)"
+                )
+        report.finished_at = max(
+            (client.session.clock for client in clients), default=0.0
+        )
+        for client in clients:
+            report.per_session_finish[client.session.session_id] = (
+                client.session.clock
+            )
+        return report
+
+    def _step(self, client: _ClientState, report: DriverReport) -> bool:
+        """Advance one client by one statement; returns True on progress."""
+        session = client.session
+        statements = client.transactions[client.txn_index]
+        try:
+            if client.stmt_index < 0:
+                session.begin()
+                client.stmt_index = 0
+                return True
+            if client.stmt_index < len(statements):
+                session.execute(statements[client.stmt_index])
+                report.statements_executed += 1
+                client.stmt_index += 1
+                return True
+            session.commit()
+            report.transactions_committed += 1
+            client.txn_index += 1
+            client.stmt_index = -1
+            return True
+        except WouldBlock:
+            report.lock_waits += 1
+            client.parked = True
+            return False
+        except DeadlockError:
+            report.deadlocks += 1
+            client.retries += 1
+            if client.retries > self.max_deadlock_retries:
+                raise
+            # The GDH already aborted the transaction; retry it fresh.
+            client.stmt_index = -1
+            return True
+
+
+def transactions_from_transfers(transfers) -> list[list[str]]:
+    """Adapter: banking transfers -> driver transaction scripts."""
+    return [transfer.statements() for transfer in transfers]

@@ -1,0 +1,55 @@
+"""Choice of expression back-end: compiled (generative) vs interpreted.
+
+One switch selects how OFMs evaluate predicates and projections — the
+ablation behind experiment E5.  Both back-ends return plain callables;
+the accompanying *weight* is the abstract comparison count charged per
+evaluation on the simulated clock (interpretation is penalized by a
+constant factor, mirroring the real-world overhead the paper's
+generative approach avoids — and which E5 also measures in wall-clock).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.exec.compiler import ExpressionCompilerCache
+from repro.exec.expressions import Expr, all_subexpressions
+from repro.exec.interpreter import InterpretedPredicate, InterpretedProjector
+
+#: Simulated-clock penalty of tree-walking interpretation per node.
+INTERPRETATION_FACTOR = 4.0
+
+
+def expression_weight(expr: Expr) -> float:
+    """Abstract cost of one evaluation: the number of tree nodes."""
+    return float(sum(1 for _ in all_subexpressions(expr)))
+
+
+class Evaluator:
+    """Produces row-level callables for predicates and projections."""
+
+    def __init__(self, compiled: bool = True, cache: ExpressionCompilerCache | None = None):
+        self.compiled = compiled
+        self.cache = cache or ExpressionCompilerCache()
+
+    def predicate(self, expr: Expr) -> tuple[Callable[[Sequence[Any]], bool], float]:
+        """A filter callable and its per-row simulated weight."""
+        weight = expression_weight(expr)
+        if self.compiled:
+            return self.cache.predicate(expr), weight
+        return InterpretedPredicate(expr), weight * INTERPRETATION_FACTOR
+
+    def projector(
+        self, exprs: Sequence[Expr]
+    ) -> tuple[Callable[[Sequence[Any]], tuple], float]:
+        """A row-builder callable and its per-row simulated weight."""
+        weight = sum(expression_weight(e) for e in exprs)
+        if self.compiled:
+            return self.cache.projector(exprs), weight
+        return InterpretedProjector(exprs), weight * INTERPRETATION_FACTOR
+
+    def scalar(self, expr: Expr) -> tuple[Callable[[Sequence[Any]], Any], float]:
+        """A single-value callable (used for aggregate arguments, keys)."""
+        fn, weight = self.projector((expr,))
+        return (lambda row, _fn=fn: _fn(row)[0]), weight

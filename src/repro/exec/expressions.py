@@ -1,0 +1,451 @@
+"""Scalar expression trees.
+
+Shared by the SQL binder, the PRISMAlog translator, the optimizer, and
+both evaluation back-ends (the tuple-at-a-time interpreter and the
+generative compiler of Section 2.5).  Expressions are immutable and
+hashable, so the optimizer can detect common subexpressions by value.
+
+NULL semantics (documented deviation from SQL's three-valued logic,
+which the 1988 paper predates): any comparison involving NULL is false;
+arithmetic and functions over NULL yield NULL; ``IS NULL`` tests
+directly; AND/OR/NOT are ordinary two-valued connectives.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ExpressionError
+from repro.storage.schema import Schema
+from repro.storage.types import DataType, infer_type
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
+
+#: Scalar functions available to queries: name -> (arity, implementation).
+SCALAR_FUNCTIONS: dict[str, tuple[int, Callable[..., Any]]] = {
+    "abs": (1, abs),
+    "length": (1, len),
+    "upper": (1, str.upper),
+    "lower": (1, str.lower),
+    "mod": (2, lambda a, b: a % b),
+}
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def key(self) -> tuple:
+        """A structural identity key (used for hashing and CSE)."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.key() == other.key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.key()))
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.to_sql()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Expr):
+    """A constant value (int, float, string, bool, or NULL)."""
+
+    value: Any
+
+    def key(self) -> tuple:
+        return (type(self.value).__name__, self.value)
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnRef(Expr):
+    """A reference to column *index* of the input row; *name* is cosmetic."""
+
+    index: int
+    name: str = ""
+
+    def key(self) -> tuple:
+        return (self.index,)
+
+    def to_sql(self) -> str:
+        return self.name or f"${self.index}"
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def key(self) -> tuple:
+        return (self.op, self.left, self.right)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True, eq=False)
+class BoolOp(Expr):
+    """N-ary AND / OR."""
+
+    op: str
+    operands: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or"):
+            raise ExpressionError(f"unknown boolean operator {self.op!r}")
+        if len(self.operands) < 2:
+            raise ExpressionError(f"{self.op.upper()} needs at least two operands")
+
+    def key(self) -> tuple:
+        return (self.op, self.operands)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.operands
+
+    def to_sql(self) -> str:
+        joiner = f" {self.op.upper()} "
+        return "(" + joiner.join(o.to_sql() for o in self.operands) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Expr):
+    operand: Expr
+
+    def key(self) -> tuple:
+        return (self.operand,)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def to_sql(self) -> str:
+        return f"(NOT {self.operand.to_sql()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Arithmetic(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITHMETIC_OPS:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def key(self) -> tuple:
+        return (self.op, self.left, self.right)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Negate(Expr):
+    operand: Expr
+
+    def key(self) -> tuple:
+        return (self.operand,)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def to_sql(self) -> str:
+        return f"(-{self.operand.to_sql()})"
+
+
+@dataclass(frozen=True, eq=False)
+class FunctionCall(Expr):
+    name: str
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        spec = SCALAR_FUNCTIONS.get(self.name)
+        if spec is None:
+            raise ExpressionError(f"unknown function {self.name!r}")
+        arity, _ = spec
+        if len(self.args) != arity:
+            raise ExpressionError(
+                f"{self.name}() takes {arity} argument(s), got {len(self.args)}"
+            )
+
+    def key(self) -> tuple:
+        return (self.name, self.args)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def to_sql(self) -> str:
+        return f"{self.name.upper()}({', '.join(a.to_sql() for a in self.args)})"
+
+
+@dataclass(frozen=True, eq=False)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def key(self) -> tuple:
+        return (self.operand, self.negated)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {suffix})"
+
+
+@dataclass(frozen=True, eq=False)
+class InList(Expr):
+    operand: Expr
+    values: tuple[Any, ...]
+
+    def key(self) -> tuple:
+        return (self.operand, self.values)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def to_sql(self) -> str:
+        items = ", ".join(Literal(v).to_sql() for v in self.values)
+        return f"({self.operand.to_sql()} IN ({items}))"
+
+
+@dataclass(frozen=True, eq=False)
+class Like(Expr):
+    """SQL LIKE with ``%`` (any run) and ``_`` (any one char) wildcards."""
+
+    operand: Expr
+    pattern: str
+    negated: bool = False
+    _regex: Any = field(default=None, compare=False, repr=False)
+
+    def key(self) -> tuple:
+        return (self.operand, self.pattern, self.negated)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def regex(self):
+        """The compiled regex equivalent of the LIKE pattern (cached)."""
+        if self._regex is None:
+            import re
+
+            parts = []
+            for ch in self.pattern:
+                if ch == "%":
+                    parts.append(".*")
+                elif ch == "_":
+                    parts.append(".")
+                else:
+                    parts.append(re.escape(ch))
+            compiled = re.compile("^" + "".join(parts) + "$", re.DOTALL)
+            object.__setattr__(self, "_regex", compiled)
+        return self._regex
+
+    def to_sql(self) -> str:
+        op = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.to_sql()} {op} {Literal(self.pattern).to_sql()})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors.
+# ---------------------------------------------------------------------------
+
+
+def col(index: int, name: str = "") -> ColumnRef:
+    return ColumnRef(index, name)
+
+
+def lit(value: Any) -> Literal:
+    return Literal(value)
+
+
+def and_(*operands: Expr) -> Expr:
+    flattened: list[Expr] = []
+    for operand in operands:
+        if isinstance(operand, BoolOp) and operand.op == "and":
+            flattened.extend(operand.operands)
+        else:
+            flattened.append(operand)
+    if len(flattened) == 1:
+        return flattened[0]
+    return BoolOp("and", tuple(flattened))
+
+
+def or_(*operands: Expr) -> Expr:
+    if len(operands) == 1:
+        return operands[0]
+    return BoolOp("or", tuple(operands))
+
+
+def eq(left: Expr, right: Expr) -> Comparison:
+    return Comparison("=", left, right)
+
+
+# ---------------------------------------------------------------------------
+# Structural utilities.
+# ---------------------------------------------------------------------------
+
+
+def columns_used(expr: Expr) -> set[int]:
+    """All row positions the expression reads."""
+    used: set[int] = set()
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, ColumnRef):
+            used.add(node.index)
+        for child in node.children():
+            walk(child)
+
+    walk(expr)
+    return used
+
+
+def remap_columns(expr: Expr, mapping: dict[int, int]) -> Expr:
+    """Rewrite every column reference through *mapping*.
+
+    Raises :class:`ExpressionError` if the expression uses a column the
+    mapping does not cover — the caller asked to move the expression
+    somewhere its inputs do not exist.
+    """
+
+    def walk(node: Expr) -> Expr:
+        if isinstance(node, ColumnRef):
+            if node.index not in mapping:
+                raise ExpressionError(
+                    f"column {node.to_sql()} (index {node.index}) not available"
+                    " after remapping"
+                )
+            return ColumnRef(mapping[node.index], node.name)
+        return _rebuild(node, tuple(walk(c) for c in node.children()))
+
+    return walk(expr)
+
+
+def _rebuild(node: Expr, children: tuple[Expr, ...]) -> Expr:
+    """Copy *node* with new children."""
+    if isinstance(node, (Literal, ColumnRef)):
+        return node
+    if isinstance(node, Comparison):
+        return Comparison(node.op, children[0], children[1])
+    if isinstance(node, BoolOp):
+        return BoolOp(node.op, children)
+    if isinstance(node, Not):
+        return Not(children[0])
+    if isinstance(node, Arithmetic):
+        return Arithmetic(node.op, children[0], children[1])
+    if isinstance(node, Negate):
+        return Negate(children[0])
+    if isinstance(node, FunctionCall):
+        return FunctionCall(node.name, children)
+    if isinstance(node, IsNull):
+        return IsNull(children[0], node.negated)
+    if isinstance(node, InList):
+        return InList(children[0], node.values)
+    if isinstance(node, Like):
+        return Like(children[0], node.pattern, node.negated)
+    raise ExpressionError(f"cannot rebuild node {type(node).__name__}")
+
+
+def conjuncts(expr: Expr) -> list[Expr]:
+    """Split a predicate into its top-level AND factors."""
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        result: list[Expr] = []
+        for operand in expr.operands:
+            result.extend(conjuncts(operand))
+        return result
+    return [expr]
+
+
+def is_constant(expr: Expr) -> bool:
+    return not columns_used(expr)
+
+
+def infer_result_type(expr: Expr, schema: Schema) -> DataType:
+    """Static result type of *expr* against *schema* (best effort)."""
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return DataType.STRING  # NULL literal: type unknown, pick widest
+        return infer_type(expr.value)
+    if isinstance(expr, ColumnRef):
+        return schema.columns[expr.index].data_type
+    if isinstance(expr, (Comparison, BoolOp, Not, IsNull, InList, Like)):
+        return DataType.BOOL
+    if isinstance(expr, Negate):
+        return infer_result_type(expr.operand, schema)
+    if isinstance(expr, Arithmetic):
+        if expr.op == "/":
+            return DataType.FLOAT
+        left = infer_result_type(expr.left, schema)
+        right = infer_result_type(expr.right, schema)
+        if DataType.FLOAT in (left, right):
+            return DataType.FLOAT
+        return left
+    if isinstance(expr, FunctionCall):
+        if expr.name in ("length", "abs", "mod"):
+            return (
+                DataType.INT
+                if expr.name != "abs"
+                else infer_result_type(expr.args[0], schema)
+            )
+        return DataType.STRING
+    raise ExpressionError(f"cannot type expression {expr!r}")
+
+
+def default_name(expr: Expr, position: int) -> str:
+    """Column name for an expression in a projection list."""
+    if isinstance(expr, ColumnRef) and expr.name:
+        return expr.name
+    return f"col{position}"
+
+
+def validate_against(expr: Expr, schema: Schema) -> None:
+    """Check all column references fall inside *schema*."""
+    width = len(schema)
+    for index in columns_used(expr):
+        if not 0 <= index < width:
+            raise ExpressionError(
+                f"expression references column index {index}, schema has {width}"
+            )
+
+
+def build_column_map(names: Sequence[str], schema: Schema) -> dict[str, int]:
+    """Helper for binders: map the given names to schema positions."""
+    return {name: schema.index_of(name) for name in names}
+
+
+def all_subexpressions(expr: Expr) -> Iterable[Expr]:
+    """Every node of the tree, preorder."""
+    yield expr
+    for child in expr.children():
+        yield from all_subexpressions(child)

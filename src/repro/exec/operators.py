@@ -1,0 +1,460 @@
+"""Physical relational operators.
+
+Everything is main-memory and materialized (lists of tuples), as in
+PRISMA: fragments are small enough to live in a processing element's
+16 MByte store, and operators run to completion inside one OFM.
+
+Every operator threads a :class:`WorkMeter` that counts the abstract
+work units (tuples touched, hash operations, comparisons) which the
+scheduler later converts into simulated time on the hosting processing
+element.  The counts — not Python's own speed — are what the parallel
+speedup experiments measure.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ExecutionError
+
+Row = tuple
+Rows = list
+KeyFn = Callable[[Row], tuple]
+PredicateFn = Callable[[Row], bool]
+ProjectFn = Callable[[Row], Row]
+
+
+@dataclass
+class WorkMeter:
+    """Abstract work counters, converted to simulated seconds later."""
+
+    tuples: float = 0.0
+    hashes: float = 0.0
+    compares: float = 0.0
+
+    def add(self, other: "WorkMeter") -> None:
+        self.tuples += other.tuples
+        self.hashes += other.hashes
+        self.compares += other.compares
+
+    def scaled(self, factor: float) -> "WorkMeter":
+        return WorkMeter(
+            self.tuples * factor, self.hashes * factor, self.compares * factor
+        )
+
+
+class JoinKind(enum.Enum):
+    INNER = "inner"
+    LEFT_OUTER = "left"
+    SEMI = "semi"
+    ANTI = "anti"
+
+
+# ---------------------------------------------------------------------------
+# Selection / projection.
+# ---------------------------------------------------------------------------
+
+
+def select_rows(
+    rows: Sequence[Row],
+    predicate: PredicateFn,
+    meter: WorkMeter,
+    eval_weight: float = 1.0,
+) -> Rows:
+    """Filter *rows*; *eval_weight* is comparisons charged per evaluation.
+
+    Interpreted predicates pass a larger weight than compiled ones — the
+    paper's "interpretation overhead" lives in this number for the
+    simulated clock (and in real wall time for E5).
+    """
+    meter.tuples += len(rows)
+    meter.compares += len(rows) * eval_weight
+    try:
+        return [row for row in rows if predicate(row)]
+    except (TypeError, ZeroDivisionError) as exc:
+        raise ExecutionError(f"predicate failed: {exc}") from None
+
+
+def project_rows(
+    rows: Sequence[Row],
+    projector: ProjectFn,
+    meter: WorkMeter,
+    eval_weight: float = 1.0,
+) -> Rows:
+    meter.tuples += len(rows)
+    meter.compares += len(rows) * eval_weight
+    try:
+        return [projector(row) for row in rows]
+    except (TypeError, ZeroDivisionError) as exc:
+        raise ExecutionError(f"projection failed: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Joins.
+# ---------------------------------------------------------------------------
+
+
+def hash_join(
+    left: Sequence[Row],
+    right: Sequence[Row],
+    left_key: KeyFn,
+    right_key: KeyFn,
+    meter: WorkMeter,
+    kind: JoinKind = JoinKind.INNER,
+    right_width: int | None = None,
+    residual: PredicateFn | None = None,
+) -> Rows:
+    """Equi-join with a hash table on the smaller (right) input.
+
+    NULL keys never match (SQL semantics).  ``LEFT_OUTER`` pads
+    unmatched left rows with ``right_width`` NULLs.  *residual* filters
+    concatenated candidate rows (for mixed equi + non-equi conditions).
+    """
+    if kind is JoinKind.LEFT_OUTER and right_width is None:
+        raise ExecutionError("LEFT_OUTER join needs right_width for NULL padding")
+    table: dict[tuple, list[Row]] = {}
+    meter.hashes += len(right)
+    for row in right:
+        key = right_key(row)
+        if any(part is None for part in key):
+            continue
+        table.setdefault(key, []).append(row)
+
+    output: Rows = []
+    meter.hashes += len(left)
+    pad = (None,) * (right_width or 0)
+    for row in left:
+        key = left_key(row)
+        matches = (
+            table.get(key, ()) if not any(p is None for p in key) else ()
+        )
+        if residual is not None and matches:
+            candidates = [m for m in matches if residual(row + m)]
+            meter.compares += len(matches)
+        else:
+            candidates = list(matches)
+        if kind is JoinKind.INNER:
+            for match in candidates:
+                output.append(row + match)
+        elif kind is JoinKind.LEFT_OUTER:
+            if candidates:
+                for match in candidates:
+                    output.append(row + match)
+            else:
+                output.append(row + pad)
+        elif kind is JoinKind.SEMI:
+            if candidates:
+                output.append(row)
+        elif kind is JoinKind.ANTI:
+            if not candidates:
+                output.append(row)
+    meter.tuples += len(output)
+    return output
+
+
+def nested_loop_join(
+    left: Sequence[Row],
+    right: Sequence[Row],
+    condition: PredicateFn | None,
+    meter: WorkMeter,
+    kind: JoinKind = JoinKind.INNER,
+    right_width: int | None = None,
+) -> Rows:
+    """General join for non-equi conditions (or cross product)."""
+    if kind is JoinKind.LEFT_OUTER and right_width is None:
+        raise ExecutionError("LEFT_OUTER join needs right_width for NULL padding")
+    output: Rows = []
+    pad = (None,) * (right_width or 0)
+    meter.compares += len(left) * len(right)
+    try:
+        for left_row in left:
+            matched = False
+            for right_row in right:
+                combined = left_row + right_row
+                if condition is None or condition(combined):
+                    matched = True
+                    if kind is JoinKind.INNER or kind is JoinKind.LEFT_OUTER:
+                        output.append(combined)
+                    elif kind is JoinKind.SEMI:
+                        break
+                    elif kind is JoinKind.ANTI:
+                        break
+            if kind is JoinKind.SEMI and matched:
+                output.append(left_row)
+            elif kind is JoinKind.ANTI and not matched:
+                output.append(left_row)
+            elif kind is JoinKind.LEFT_OUTER and not matched:
+                output.append(left_row + pad)
+    except (TypeError, ZeroDivisionError) as exc:
+        raise ExecutionError(f"join condition failed: {exc}") from None
+    meter.tuples += len(output)
+    return output
+
+
+def merge_join(
+    left: Sequence[Row],
+    right: Sequence[Row],
+    left_key: KeyFn,
+    right_key: KeyFn,
+    meter: WorkMeter,
+) -> Rows:
+    """Inner equi-join of two inputs by sorting then merging.
+
+    Kept as the classic alternative to :func:`hash_join`; the join
+    ablation benchmark compares the two.  NULL keys are dropped first.
+    """
+    left_sorted = sorted(
+        (row for row in left if not any(p is None for p in left_key(row))),
+        key=left_key,
+    )
+    right_sorted = sorted(
+        (row for row in right if not any(p is None for p in right_key(row))),
+        key=right_key,
+    )
+    meter.compares += _sort_compares(len(left_sorted)) + _sort_compares(len(right_sorted))
+    output: Rows = []
+    i = j = 0
+    while i < len(left_sorted) and j < len(right_sorted):
+        meter.compares += 1
+        lkey = left_key(left_sorted[i])
+        rkey = right_key(right_sorted[j])
+        if lkey < rkey:
+            i += 1
+        elif lkey > rkey:
+            j += 1
+        else:
+            # Find both runs of equal keys and emit their product.
+            i_end = i
+            while i_end < len(left_sorted) and left_key(left_sorted[i_end]) == lkey:
+                i_end += 1
+            j_end = j
+            while j_end < len(right_sorted) and right_key(right_sorted[j_end]) == rkey:
+                j_end += 1
+            for li in range(i, i_end):
+                for rj in range(j, j_end):
+                    output.append(left_sorted[li] + right_sorted[rj])
+            i, j = i_end, j_end
+    meter.tuples += len(output)
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Sorting, duplicates, limits.
+# ---------------------------------------------------------------------------
+
+
+def _sort_compares(n: int) -> float:
+    if n < 2:
+        return 0.0
+    import math
+
+    return n * math.log2(n)
+
+
+def sort_rows(
+    rows: Sequence[Row],
+    key_positions: Sequence[int],
+    descending: Sequence[bool] | None = None,
+    meter: WorkMeter | None = None,
+) -> Rows:
+    """Stable multi-column sort; NULLs sort first (ascending).
+
+    Mixed ascending/descending columns are handled by sorting from the
+    least-significant key outward (stability does the rest).
+    """
+    if meter is not None:
+        meter.compares += _sort_compares(len(rows)) * max(1, len(key_positions))
+        meter.tuples += len(rows)
+    if descending is None:
+        descending = [False] * len(key_positions)
+    if len(descending) != len(key_positions):
+        raise ExecutionError("sort: key/direction lists differ in length")
+    result = list(rows)
+    for position, desc in reversed(list(zip(key_positions, descending))):
+        result.sort(
+            key=lambda row: _null_safe_key(row[position]),
+            reverse=desc,
+        )
+    return result
+
+
+def _null_safe_key(value: Any) -> tuple:
+    # None < bools < numbers < strings, each comparable within its class.
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, value)
+
+
+def distinct_rows(rows: Sequence[Row], meter: WorkMeter) -> Rows:
+    meter.hashes += len(rows)
+    seen: set[Row] = set()
+    output: Rows = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            output.append(row)
+    meter.tuples += len(output)
+    return output
+
+
+def limit_rows(rows: Sequence[Row], limit: int | None, offset: int = 0) -> Rows:
+    if offset < 0 or (limit is not None and limit < 0):
+        raise ExecutionError("LIMIT/OFFSET must be non-negative")
+    end = None if limit is None else offset + limit
+    return list(rows[offset:end])
+
+
+# ---------------------------------------------------------------------------
+# Set operations (SQL semantics: UNION/INTERSECT/EXCEPT deduplicate).
+# ---------------------------------------------------------------------------
+
+
+def union_rows(left: Sequence[Row], right: Sequence[Row], meter: WorkMeter) -> Rows:
+    return distinct_rows(list(left) + list(right), meter)
+
+
+def union_all_rows(left: Sequence[Row], right: Sequence[Row], meter: WorkMeter) -> Rows:
+    meter.tuples += len(left) + len(right)
+    return list(left) + list(right)
+
+
+def intersect_rows(left: Sequence[Row], right: Sequence[Row], meter: WorkMeter) -> Rows:
+    meter.hashes += len(left) + len(right)
+    right_set = set(right)
+    output = []
+    seen: set[Row] = set()
+    for row in left:
+        if row in right_set and row not in seen:
+            seen.add(row)
+            output.append(row)
+    meter.tuples += len(output)
+    return output
+
+
+def difference_rows(left: Sequence[Row], right: Sequence[Row], meter: WorkMeter) -> Rows:
+    meter.hashes += len(left) + len(right)
+    right_set = set(right)
+    output = []
+    seen: set[Row] = set()
+    for row in left:
+        if row not in right_set and row not in seen:
+            seen.add(row)
+            output.append(row)
+    meter.tuples += len(output)
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Aggregation.
+# ---------------------------------------------------------------------------
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate in a GROUP BY: ``func(arg)`` with optional DISTINCT.
+
+    ``arg`` is a compiled scalar (row -> value) or ``None`` for
+    ``COUNT(*)``.
+    """
+
+    func: str
+    arg: Callable[[Row], Any] | None = None
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCTIONS:
+            raise ExecutionError(f"unknown aggregate {self.func!r}")
+        if self.func != "count" and self.arg is None:
+            raise ExecutionError(f"{self.func.upper()} needs an argument")
+
+
+class _AggState:
+    __slots__ = ("count", "total", "minimum", "maximum", "seen")
+
+    def __init__(self, distinct: bool):
+        self.count = 0
+        self.total: Any = None
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.seen: set | None = set() if distinct else None
+
+    def feed(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        self.total = value if self.total is None else self.total + value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def result(self, func: str) -> Any:
+        if func == "count":
+            return self.count
+        if func == "sum":
+            return self.total
+        if func == "avg":
+            return None if self.count == 0 else self.total / self.count
+        if func == "min":
+            return self.minimum
+        return self.maximum
+
+
+def aggregate_rows(
+    rows: Sequence[Row],
+    group_key: KeyFn | None,
+    specs: Sequence[AggSpec],
+    meter: WorkMeter,
+) -> Rows:
+    """Hash aggregation.
+
+    Output rows are ``group_key_values + aggregate_values``.  With
+    ``group_key=None`` a single global row is produced even for empty
+    input (COUNT gives 0, the others NULL) — SQL semantics.
+    """
+    groups: dict[tuple, list[_AggState]] = {}
+    meter.hashes += len(rows)
+    meter.tuples += len(rows)
+
+    def new_states() -> list[_AggState]:
+        return [_AggState(spec.distinct) for spec in specs]
+
+    if group_key is None:
+        groups[()] = new_states()
+
+    try:
+        for row in rows:
+            key = group_key(row) if group_key is not None else ()
+            states = groups.get(key)
+            if states is None:
+                states = new_states()
+                groups[key] = states
+            for spec, state in zip(specs, states):
+                if spec.func == "count" and spec.arg is None:
+                    state.count += 1
+                else:
+                    assert spec.arg is not None
+                    state.feed(spec.arg(row))
+    except (TypeError, ZeroDivisionError) as exc:
+        raise ExecutionError(f"aggregate argument failed: {exc}") from None
+
+    output: Rows = []
+    for key, states in groups.items():
+        output.append(
+            tuple(key) + tuple(state.result(spec.func) for spec, state in zip(specs, states))
+        )
+    meter.tuples += len(output)
+    return output

@@ -1,0 +1,153 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event engine: events are ``(time, sequence,
+callback)`` triples kept in a binary heap.  Ties in time are broken by
+insertion order, which makes every simulation run reproducible.
+
+The engine is deliberately free of any PRISMA-specific knowledge; the
+network simulator (:mod:`repro.machine.network`) and the disk model build
+on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler.
+
+    Example
+    -------
+    >>> loop = EventLoop()
+    >>> fired = []
+    >>> _ = loop.schedule_at(2.0, lambda: fired.append("b"))
+    >>> _ = loop.schedule_at(1.0, lambda: fired.append("a"))
+    >>> loop.run()
+    >>> fired
+    ['a', 'b']
+    >>> loop.now
+    2.0
+    """
+
+    def __init__(self):
+        self._queue: list[_Event] = []
+        self._now = 0.0
+        self._sequence = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (and not cancelled) events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
+        """Schedule *callback* to fire at absolute simulated *time*."""
+        if time < self._now:
+            raise MachineError(
+                f"cannot schedule event in the past: {time} < now {self._now}"
+            )
+        event = _Event(time, self._sequence, callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule *callback* to fire *delay* seconds from now."""
+        if delay < 0:
+            raise MachineError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns ``False`` if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events in order.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would pass this bound; the clock is
+            advanced exactly to *until* (events scheduled later remain
+            queued).
+        max_events:
+            Safety valve: stop after firing this many events.
+
+        Returns
+        -------
+        int
+            Number of events fired.
+        """
+        if self._running:
+            raise MachineError("event loop is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = head.time
+                head.callback()
+                fired += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return fired

@@ -1,0 +1,164 @@
+"""The assembled multi-computer: nodes + interconnect + cost model.
+
+A :class:`Machine` is the substrate everything else runs on.  It is used
+in two modes:
+
+* **analytic** — the query engine charges CPU work and data transfers
+  against the machine's rate parameters via :meth:`transfer_time`,
+  :meth:`cpu_time`, and friends; parallel response times are combined by
+  the scheduler as critical paths.  This keeps query execution fast and
+  deterministic.
+* **packet-level** — the network experiments (E1/E2) drive the
+  discrete-event simulator in :mod:`repro.machine.network` over the same
+  topology and link parameters, validating the throughput claim the
+  analytic model relies on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+from repro.machine.config import MachineConfig
+from repro.machine.disk import Disk
+from repro.machine.node import ProcessingElement
+from repro.machine.router import Router
+from repro.machine.topology import Topology, build_topology
+
+
+class Machine:
+    """A configured PRISMA multi-computer instance."""
+
+    def __init__(self, config: MachineConfig | None = None):
+        self.config = config or MachineConfig()
+        self.topology: Topology = build_topology(self.config)
+        self.router = Router(self.topology)
+        self.nodes: list[ProcessingElement] = []
+        for node_id in range(self.config.n_nodes):
+            disk = None
+            if node_id in self.config.disk_nodes:
+                disk = Disk(
+                    node=node_id,
+                    access_time_s=self.config.disk_access_time_s,
+                    transfer_bps=self.config.disk_transfer_bps,
+                    page_bytes=self.config.disk_page_bytes,
+                )
+            self.nodes.append(
+                ProcessingElement(node_id, self.config.memory_bytes, disk)
+            )
+        self._nearest_disk: list[int] = self._compute_nearest_disks()
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    def node(self, node_id: int) -> ProcessingElement:
+        if not 0 <= node_id < self.n_nodes:
+            raise MachineError(f"no such processing element: {node_id}")
+        return self.nodes[node_id]
+
+    def disk_nodes(self) -> list[ProcessingElement]:
+        """All elements that have secondary storage."""
+        return [pe for pe in self.nodes if pe.has_disk]
+
+    def _compute_nearest_disks(self) -> list[int]:
+        disks = [pe.node_id for pe in self.nodes if pe.has_disk]
+        if not disks:
+            return [-1] * self.n_nodes
+        nearest = []
+        for node_id in range(self.n_nodes):
+            best = min(disks, key=lambda d: (self.router.hops(node_id, d), d))
+            nearest.append(best)
+        return nearest
+
+    def nearest_disk_node(self, node_id: int) -> int:
+        """The disk-equipped element closest to *node_id*.
+
+        Raises :class:`MachineError` when the machine has no disks at all
+        (a purely transient configuration cannot offer stable storage).
+        """
+        nearest = self._nearest_disk[node_id]
+        if nearest < 0:
+            raise MachineError("machine has no disk-equipped processing elements")
+        return nearest
+
+    # -- analytic cost model ----------------------------------------------------
+
+    def transfer_time(self, source: int, destination: int, n_bytes: int) -> float:
+        """Simulated time to move *n_bytes* from one element to another.
+
+        Packets are cut through the shortest path with pipelining: the
+        first packet pays the full path (per-hop switch delay + link
+        serialization), subsequent packets stream behind it at one
+        packet-service-time intervals.  Local "transfers" are free — the
+        paper's processes on the same element share no memory but the
+        runtime passes references.
+        """
+        if source == destination or n_bytes <= 0:
+            return 0.0
+        config = self.config
+        hops = self.router.hops(source, destination)
+        packets = config.packets_for_bytes(n_bytes)
+        service = config.packet_service_time_s
+        pipeline_fill = hops * (service + config.switch_delay_s)
+        return pipeline_fill + (packets - 1) * service
+
+    def message_time(self, source: int, destination: int) -> float:
+        """Latency of a minimal control message (one packet)."""
+        return self.transfer_time(source, destination, 1)
+
+    def broadcast_time(self, source: int, n_bytes: int) -> float:
+        """Time to get *n_bytes* from *source* to every other element.
+
+        Modelled as the worst single destination (the runtime forwards
+        along a BFS tree, so the critical path is the farthest node).
+        """
+        if self.n_nodes == 1:
+            return 0.0
+        return max(
+            self.transfer_time(source, destination, n_bytes)
+            for destination in range(self.n_nodes)
+            if destination != source
+        )
+
+    def cpu_time(self, tuples: int = 0, hashes: int = 0, compares: int = 0) -> float:
+        """CPU cost of a batch of work on one element."""
+        config = self.config
+        return (
+            tuples * config.cpu_tuple_cost_s
+            + hashes * config.cpu_hash_cost_s
+            + compares * config.cpu_compare_cost_s
+        )
+
+    def startup_time(self, n_processes: int = 1) -> float:
+        """Cost of spawning *n_processes* (POOL-X process creation)."""
+        return n_processes * self.config.cpu_start_cost_s
+
+    def disk_time(self, node_id: int, n_bytes: int, sequential: bool = True) -> float:
+        """Cost of a disk access of *n_bytes* at *node_id*'s nearest disk.
+
+        The transfer to reach the disk-equipped element (if remote) is
+        included, since log forces cross the network in PRISMA.
+        """
+        disk_node = self.nearest_disk_node(node_id)
+        disk = self.nodes[disk_node].disk
+        assert disk is not None
+        network = self.transfer_time(node_id, disk_node, n_bytes)
+        return network + disk.access_cost(n_bytes, sequential=sequential)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def utilization(self, elapsed_s: float) -> dict[int, float]:
+        """Per-element busy fraction over an *elapsed_s* window."""
+        if elapsed_s <= 0:
+            return {pe.node_id: 0.0 for pe in self.nodes}
+        return {
+            pe.node_id: min(1.0, pe.stats.busy_time_s / elapsed_s)
+            for pe in self.nodes
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(n={self.n_nodes}, topology={self.topology.name},"
+            f" disks={len(self.disk_nodes())})"
+        )

@@ -1,0 +1,230 @@
+"""Packet-level discrete-event simulation of the interconnect.
+
+This is the simulator behind the paper's one quantitative claim
+(Section 3.2): "Various simulations show an average network throughput of
+upto 20.000 packets (of 256 bits) per second for each processing element
+simultaneously."  We rebuild that simulation: store-and-forward routing
+of 256-bit packets over 10 Mbit/s links arranged in a mesh or chordal
+ring, with FIFO output queues per link.
+
+Experiments E1/E2 sweep the offered load and report delivered throughput
+and latency per processing element.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError
+from repro.machine.config import MachineConfig
+from repro.machine.events import EventLoop
+from repro.machine.router import Router
+from repro.machine.topology import Topology, build_topology
+
+
+@dataclass
+class Packet:
+    """One network packet in flight."""
+
+    packet_id: int
+    source: int
+    destination: int
+    injected_at: float
+    hops_taken: int = 0
+
+
+@dataclass
+class NetworkStats:
+    """Counters accumulated by a :class:`PacketNetwork`."""
+
+    injected: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    local: int = 0
+    total_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    total_hops: int = 0
+    delivered_per_node: dict[int, int] = field(default_factory=dict)
+
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.delivered if self.delivered else 0.0
+
+    def mean_hops(self) -> float:
+        return self.total_hops / self.delivered if self.delivered else 0.0
+
+
+class _Link:
+    """One directed link: a FIFO queue served at the link bandwidth."""
+
+    __slots__ = ("source", "destination", "queue", "busy", "served")
+
+    def __init__(self, source: int, destination: int):
+        self.source = source
+        self.destination = destination
+        self.queue: deque[Packet] = deque()
+        self.busy = False
+        self.served = 0
+
+
+class PacketNetwork:
+    """Event-driven packet network over a topology.
+
+    Parameters
+    ----------
+    config:
+        Machine parameters (packet size, link bandwidth, switch delay).
+    loop:
+        The event loop to run on; one is created if omitted.
+    queue_capacity:
+        Maximum packets waiting on one link's output queue; ``None``
+        means unbounded (open-loop measurement).  When bounded, excess
+        packets are dropped and counted.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig | None = None,
+        loop: EventLoop | None = None,
+        queue_capacity: int | None = None,
+        topology: Topology | None = None,
+    ):
+        self.config = config or MachineConfig()
+        self.loop = loop or EventLoop()
+        self.queue_capacity = queue_capacity
+        self.topology = topology or build_topology(self.config)
+        if self.topology.n_nodes != self.config.n_nodes:
+            raise MachineError(
+                f"topology has {self.topology.n_nodes} nodes,"
+                f" config expects {self.config.n_nodes}"
+            )
+        self.router = Router(self.topology)
+        self.stats = NetworkStats()
+        self._links: dict[tuple[int, int], _Link] = {}
+        for u in range(self.topology.n_nodes):
+            for v in self.topology.neighbors(u):
+                self._links[(u, v)] = _Link(u, v)
+        self._next_packet_id = 0
+        #: measurement window start; deliveries before it are not counted.
+        self._measure_from = 0.0
+
+    # -- measurement control ------------------------------------------------
+
+    def start_measuring(self) -> None:
+        """Reset counters; deliveries from now on are measured (warm-up cut)."""
+        self._measure_from = self.loop.now
+        self.stats = NetworkStats()
+
+    # -- injection ------------------------------------------------------------
+
+    def inject(self, source: int, destination: int) -> Packet:
+        """Inject one packet at the current simulated time."""
+        packet = Packet(
+            packet_id=self._next_packet_id,
+            source=source,
+            destination=destination,
+            injected_at=self.loop.now,
+        )
+        self._next_packet_id += 1
+        self.stats.injected += 1
+        if source == destination:
+            # Local delivery never touches the network.
+            self.stats.local += 1
+            self._deliver(packet)
+            return packet
+        self._forward(packet, at_node=source)
+        return packet
+
+    # -- internals ---------------------------------------------------------------
+
+    def _forward(self, packet: Packet, at_node: int) -> None:
+        next_node = self.router.next_hop(at_node, packet.destination)
+        link = self._links[(at_node, next_node)]
+        if (
+            self.queue_capacity is not None
+            and len(link.queue) >= self.queue_capacity
+        ):
+            self.stats.dropped += 1
+            return
+        link.queue.append(packet)
+        if not link.busy:
+            self._start_service(link)
+
+    def _start_service(self, link: _Link) -> None:
+        link.busy = True
+        self.loop.schedule(
+            self.config.packet_service_time_s,
+            lambda: self._finish_service(link),
+        )
+
+    def _finish_service(self, link: _Link) -> None:
+        packet = link.queue.popleft()
+        link.served += 1
+        packet.hops_taken += 1
+        if link.queue:
+            self._start_service(link)
+        else:
+            link.busy = False
+        # The packet crosses the switch at the receiving node, then either
+        # terminates or is forwarded onto the next link.
+        arrival_node = link.destination
+        delay = self.config.switch_delay_s
+
+        def arrive() -> None:
+            if arrival_node == packet.destination:
+                self._deliver(packet)
+            else:
+                self._forward(packet, at_node=arrival_node)
+
+        self.loop.schedule(delay, arrive)
+
+    def _deliver(self, packet: Packet) -> None:
+        if packet.injected_at < self._measure_from:
+            return
+        latency = self.loop.now - packet.injected_at
+        stats = self.stats
+        stats.delivered += 1
+        stats.total_latency_s += latency
+        stats.max_latency_s = max(stats.max_latency_s, latency)
+        stats.total_hops += packet.hops_taken
+        node_counts = stats.delivered_per_node
+        node_counts[packet.destination] = node_counts.get(packet.destination, 0) + 1
+
+    # -- results ---------------------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Packets currently queued or in service."""
+        return sum(len(link.queue) for link in self._links.values())
+
+    def throughput_per_node_pps(self, window_s: float) -> float:
+        """Mean delivered packets/second per processing element."""
+        if window_s <= 0:
+            return 0.0
+        return self.stats.delivered / window_s / self.topology.n_nodes
+
+    def link_utilization(self, window_s: float) -> dict[tuple[int, int], float]:
+        """Busy fraction of each directed link over a window."""
+        service = self.config.packet_service_time_s
+        if window_s <= 0:
+            return {key: 0.0 for key in self._links}
+        return {
+            key: min(1.0, link.served * service / window_s)
+            for key, link in self._links.items()
+        }
+
+    def saturation_bound_pps(self) -> float:
+        """Upper bound on per-node delivered throughput under uniform traffic.
+
+        Bisection-bandwidth style argument: each delivered packet occupies
+        ``mean_hops`` link-transmissions, and the machine has
+        ``2 * n_links`` directed links each serving
+        ``link_packets_per_second``.  This is the first-order number the
+        paper's 20k packets/s/PE claim rests on.
+        """
+        mean_hops = self.router.mean_hops()
+        if mean_hops == 0:
+            return float("inf")
+        total_link_capacity = (
+            2 * self.topology.n_links * self.config.link_packets_per_second
+        )
+        return total_link_capacity / mean_hops / self.topology.n_nodes

@@ -1,0 +1,49 @@
+"""Processing elements of the simulated multi-computer.
+
+Each element owns local main memory (a :class:`MemoryAccount` over the
+16 MByte budget), optionally a disk, and accumulates busy-time so that the
+scheduler can balance load and reports can show per-element utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.disk import Disk
+from repro.machine.memory import MemoryAccount
+
+
+@dataclass
+class NodeStats:
+    """Work counters for one processing element."""
+
+    busy_time_s: float = 0.0
+    tuples_processed: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    processes_started: int = 0
+
+
+class ProcessingElement:
+    """One node of the multi-computer: CPU + local memory (+ disk)."""
+
+    def __init__(self, node_id: int, memory_bytes: int, disk: Disk | None = None):
+        self.node_id = node_id
+        self.memory = MemoryAccount(memory_bytes, owner=f"PE{node_id}")
+        self.disk = disk
+        self.stats = NodeStats()
+
+    @property
+    def has_disk(self) -> bool:
+        return self.disk is not None
+
+    def charge(self, seconds: float, tuples: int = 0) -> None:
+        """Account *seconds* of CPU work (and optionally tuples touched)."""
+        self.stats.busy_time_s += seconds
+        self.stats.tuples_processed += tuples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        disk = "+disk" if self.has_disk else ""
+        return f"PE({self.node_id}{disk}, mem={self.memory.used}/{self.memory.capacity})"

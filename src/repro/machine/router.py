@@ -1,0 +1,84 @@
+"""Shortest-path routing over a :class:`~repro.machine.topology.Topology`.
+
+Routes are computed once, by breadth-first search from every destination,
+into a dense next-hop table.  Ties are broken toward the lowest-numbered
+neighbor, so routing is deterministic and simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import TopologyError
+from repro.machine.topology import Topology
+
+
+class Router:
+    """Deterministic shortest-path router.
+
+    Parameters
+    ----------
+    topology:
+        The interconnect to route over; must be connected.
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        n = topology.n_nodes
+        # _next_hop[destination][node] -> neighbor of node on the path to
+        # destination (or destination itself when node == destination).
+        self._next_hop: list[list[int]] = [[-1] * n for _ in range(n)]
+        self._distance: list[list[int]] = [[-1] * n for _ in range(n)]
+        for destination in range(n):
+            self._build_routes_to(destination)
+
+    def _build_routes_to(self, destination: int) -> None:
+        next_hop = self._next_hop[destination]
+        distance = self._distance[destination]
+        next_hop[destination] = destination
+        distance[destination] = 0
+        frontier = deque([destination])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in self.topology.neighbors(node):
+                if distance[neighbor] < 0:
+                    distance[neighbor] = distance[node] + 1
+                    # The packet at `neighbor` heads to `node` next.
+                    next_hop[neighbor] = node
+                    frontier.append(neighbor)
+        unreachable = [i for i, d in enumerate(distance) if d < 0]
+        if unreachable:
+            raise TopologyError(
+                f"topology {self.topology.name!r} is disconnected:"
+                f" {unreachable[:5]} cannot reach {destination}"
+            )
+
+    def next_hop(self, node: int, destination: int) -> int:
+        """The neighbor *node* forwards to, en route to *destination*."""
+        return self._next_hop[destination][node]
+
+    def hops(self, source: int, destination: int) -> int:
+        """Shortest-path length in hops."""
+        return self._distance[destination][source]
+
+    def path(self, source: int, destination: int) -> list[int]:
+        """Full node sequence from *source* to *destination*, inclusive."""
+        path = [source]
+        node = source
+        while node != destination:
+            node = self.next_hop(node, destination)
+            path.append(node)
+        return path
+
+    def mean_hops(self) -> float:
+        """Average route length over distinct ordered pairs."""
+        n = self.topology.n_nodes
+        if n == 1:
+            return 0.0
+        total = sum(
+            self._distance[dst][src]
+            for dst in range(n)
+            for src in range(n)
+            if src != dst
+        )
+        return total / (n * (n - 1))

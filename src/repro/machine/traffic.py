@@ -1,0 +1,134 @@
+"""Synthetic traffic generators for the network experiments.
+
+The paper reports its 20k packets/s/PE figure for "various simulations"
+without naming the traffic pattern; uniform random traffic is the
+standard choice and the hardest honest case for a mesh, so E1 uses it.
+Hotspot and nearest-neighbour patterns bound the claim from below and
+above.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.errors import MachineError
+from repro.machine.network import PacketNetwork
+
+DestinationChooser = Callable[[random.Random, int, int], int]
+
+
+def uniform_destination(rng: random.Random, source: int, n_nodes: int) -> int:
+    """Any node but the source, uniformly."""
+    destination = rng.randrange(n_nodes - 1)
+    return destination if destination < source else destination + 1
+
+
+def hotspot_destination(fraction: float = 0.3, hotspot: int = 0) -> DestinationChooser:
+    """With probability *fraction* send to *hotspot*, else uniform."""
+
+    def choose(rng: random.Random, source: int, n_nodes: int) -> int:
+        if rng.random() < fraction and source != hotspot:
+            return hotspot
+        return uniform_destination(rng, source, n_nodes)
+
+    return choose
+
+
+def neighbour_destination(rng: random.Random, source: int, n_nodes: int) -> int:
+    """Send to an adjacent node id (ring neighbour) — minimal-distance load."""
+    offset = rng.choice((-1, 1))
+    return (source + offset) % n_nodes
+
+
+class PoissonTraffic:
+    """Open-loop Poisson packet arrivals at every node.
+
+    Parameters
+    ----------
+    network:
+        The packet network under test.
+    rate_per_node_pps:
+        Mean injection rate per node, packets/second (the offered load).
+    seed:
+        Seed for the deterministic pseudo-random stream.
+    choose_destination:
+        Traffic pattern; defaults to uniform random.
+    """
+
+    def __init__(
+        self,
+        network: PacketNetwork,
+        rate_per_node_pps: float,
+        seed: int = 0,
+        choose_destination: DestinationChooser = uniform_destination,
+    ):
+        if rate_per_node_pps <= 0:
+            raise MachineError(f"offered load must be positive: {rate_per_node_pps}")
+        self.network = network
+        self.rate = rate_per_node_pps
+        self.choose_destination = choose_destination
+        self._rng = random.Random(seed)
+        self._stop_at: float | None = None
+
+    def start(self, duration_s: float) -> None:
+        """Schedule arrivals at every node for *duration_s* from now."""
+        loop = self.network.loop
+        self._stop_at = loop.now + duration_s
+        for node in range(self.network.topology.n_nodes):
+            self._schedule_next(node)
+
+    def _schedule_next(self, node: int) -> None:
+        loop = self.network.loop
+        gap = self._rng.expovariate(self.rate)
+        when = loop.now + gap
+        if self._stop_at is None or when > self._stop_at:
+            return
+
+        def fire() -> None:
+            destination = self.choose_destination(
+                self._rng, node, self.network.topology.n_nodes
+            )
+            self.network.inject(node, destination)
+            self._schedule_next(node)
+
+        loop.schedule_at(when, fire)
+
+
+def run_load_point(
+    network: PacketNetwork,
+    rate_per_node_pps: float,
+    warmup_s: float = 0.02,
+    measure_s: float = 0.1,
+    seed: int = 0,
+    choose_destination: DestinationChooser = uniform_destination,
+) -> dict[str, float]:
+    """Measure one point of the load/throughput curve.
+
+    Runs *warmup_s* of traffic to fill queues, resets counters, then
+    measures for *measure_s*.  Returns a summary dict with offered and
+    delivered per-node throughput, latency, and drop statistics.
+    """
+    traffic = PoissonTraffic(
+        network, rate_per_node_pps, seed=seed, choose_destination=choose_destination
+    )
+    traffic.start(warmup_s + measure_s)
+    network.loop.run(until=network.loop.now + warmup_s)
+    network.start_measuring()
+    measure_start = network.loop.now
+    network.loop.run(until=measure_start + measure_s)
+    # Let already-injected packets drain so their latencies are counted,
+    # but do not credit packets injected after the window.
+    window = network.loop.now - measure_start
+    stats = network.stats
+    return {
+        "offered_pps_per_node": rate_per_node_pps,
+        "delivered_pps_per_node": network.throughput_per_node_pps(window),
+        "mean_latency_s": stats.mean_latency_s(),
+        "max_latency_s": stats.max_latency_s,
+        "mean_hops": stats.mean_hops(),
+        "injected": float(stats.injected),
+        "delivered": float(stats.delivered),
+        "dropped": float(stats.dropped),
+        "in_flight": float(network.in_flight()),
+    }

@@ -1,0 +1,27 @@
+"""One-Fragment Managers: per-fragment database engines with WAL-based
+durability (paper Section 2.5)."""
+
+from repro.ofm.manager import OFMProfile, OneFragmentManager
+from repro.ofm.wal import (
+    AbortRecord,
+    CommitRecord,
+    DeleteRecord,
+    InsertRecord,
+    LogRecord,
+    PrepareRecord,
+    UpdateRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "AbortRecord",
+    "CommitRecord",
+    "DeleteRecord",
+    "InsertRecord",
+    "LogRecord",
+    "OFMProfile",
+    "OneFragmentManager",
+    "PrepareRecord",
+    "UpdateRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,101 @@
+"""Placement policies: which processing element gets a new process.
+
+POOL-X "supports explicit allocation of the dynamically created processes
+onto processing elements.  This allows for a proper balance between
+storage, processing, and communication, under the control of the
+implementor of the database system" (Section 3.1).  These policies are
+that control knob; the data allocation manager and the parallelizer pick
+among them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from repro.errors import AllocationError
+from repro.machine.machine import Machine
+
+
+class PlacementPolicy:
+    """Chooses a processing element for each newly spawned process."""
+
+    def choose(self, machine: Machine) -> int:
+        raise NotImplementedError
+
+    def choose_many(self, machine: Machine, count: int) -> list[int]:
+        """Choose *count* elements (may repeat when count > n_nodes)."""
+        return [self.choose(machine) for _ in range(count)]
+
+
+class Pinned(PlacementPolicy):
+    """Always the given element — fully explicit allocation."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+
+    def choose(self, machine: Machine) -> int:
+        if not 0 <= self.node_id < machine.n_nodes:
+            raise AllocationError(
+                f"pinned node {self.node_id} outside machine of {machine.n_nodes}"
+            )
+        return self.node_id
+
+
+class RoundRobin(PlacementPolicy):
+    """Cycle through elements, optionally restricted to a subset."""
+
+    def __init__(self, nodes: Sequence[int] | None = None, start: int = 0):
+        self._nodes = list(nodes) if nodes is not None else None
+        self._counter = itertools.count(start)
+
+    def choose(self, machine: Machine) -> int:
+        pool = self._nodes if self._nodes is not None else range(machine.n_nodes)
+        pool = list(pool)
+        if not pool:
+            raise AllocationError("round-robin placement over an empty node set")
+        return pool[next(self._counter) % len(pool)]
+
+
+class LeastLoaded(PlacementPolicy):
+    """The element with the least accumulated busy time (ties: lowest id)."""
+
+    def choose(self, machine: Machine) -> int:
+        return min(
+            range(machine.n_nodes),
+            key=lambda n: (machine.node(n).stats.busy_time_s, n),
+        )
+
+
+class MostFreeMemory(PlacementPolicy):
+    """The element with the most free main memory — for fragment hosting."""
+
+    def choose(self, machine: Machine) -> int:
+        return max(
+            range(machine.n_nodes),
+            key=lambda n: (machine.node(n).memory.available, -n),
+        )
+
+    def choose_many(self, machine: Machine, count: int) -> list[int]:
+        # Spread over distinct elements first, by free memory.
+        ranked = sorted(
+            range(machine.n_nodes),
+            key=lambda n: (-machine.node(n).memory.available, n),
+        )
+        chosen = []
+        for i in range(count):
+            chosen.append(ranked[i % len(ranked)])
+        return chosen
+
+
+class DiskNodes(PlacementPolicy):
+    """Round-robin over the disk-equipped elements (for recovery services)."""
+
+    def __init__(self):
+        self._counter = itertools.count()
+
+    def choose(self, machine: Machine) -> int:
+        disks = [pe.node_id for pe in machine.disk_nodes()]
+        if not disks:
+            raise AllocationError("machine has no disk-equipped elements")
+        return disks[next(self._counter) % len(disks)]

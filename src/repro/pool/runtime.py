@@ -1,0 +1,197 @@
+"""The POOL-X runtime: process creation, allocation, and message passing.
+
+The runtime owns a :class:`~repro.machine.machine.Machine` and hands out
+:class:`~repro.pool.process.PoolProcess` instances placed on its
+processing elements.  All inter-process communication goes through
+:meth:`PoolRuntime.send` (timeline style) or :meth:`PoolRuntime.post`
+(reactive style); both charge the analytic network cost model of the
+machine and keep per-node message statistics, so every experiment sees
+communication costs no matter which style produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.errors import MachineError
+from repro.machine.config import MachineConfig
+from repro.machine.events import EventLoop
+from repro.machine.machine import Machine
+from repro.pool.placement import PlacementPolicy, RoundRobin
+from repro.pool.process import PoolProcess
+
+P = TypeVar("P", bound=PoolProcess)
+
+#: CPU cost of assembling/sending one message (marshalling, system call).
+SEND_OVERHEAD_S = 2e-5
+#: CPU cost of receiving one message.
+RECEIVE_OVERHEAD_S = 2e-5
+
+
+@dataclass
+class RuntimeStats:
+    """Aggregate communication counters for one runtime."""
+
+    processes_spawned: int = 0
+    processes_terminated: int = 0
+    messages: int = 0
+    bytes_moved: int = 0
+    local_messages: int = 0
+
+
+class PoolRuntime:
+    """Creates processes on a machine and passes messages between them."""
+
+    def __init__(self, machine: Machine | MachineConfig | None = None):
+        if machine is None:
+            machine = Machine()
+        elif isinstance(machine, MachineConfig):
+            machine = Machine(machine)
+        self.machine = machine
+        self.loop = EventLoop()
+        self.stats = RuntimeStats()
+        self._default_placement = RoundRobin()
+        self._processes: dict[str, PoolProcess] = {}
+        self._name_counter = 0
+
+    # -- process lifecycle ----------------------------------------------------
+
+    def spawn(
+        self,
+        process_class: type[P] = PoolProcess,
+        name: str | None = None,
+        node: int | None = None,
+        placement: PlacementPolicy | None = None,
+        start_at: float = 0.0,
+        **kwargs: Any,
+    ) -> P:
+        """Create a process and allocate it to a processing element.
+
+        Either pin it with *node* (explicit allocation, as POOL-X allows)
+        or let a :class:`PlacementPolicy` choose.  Creation costs
+        ``cpu_start_cost_s`` on the hosting element and the process's
+        clock starts no earlier than *start_at*.
+        """
+        if node is not None and placement is not None:
+            raise MachineError("pass either node or placement, not both")
+        if node is None:
+            policy = placement or self._default_placement
+            node = policy.choose(self.machine)
+        if not 0 <= node < self.machine.n_nodes:
+            raise MachineError(f"no such processing element: {node}")
+        if name is None:
+            name = f"{process_class.__name__.lower()}-{self._name_counter}"
+            self._name_counter += 1
+        if name in self._processes:
+            raise MachineError(f"process name {name!r} already in use")
+        process = process_class(self, name, node, **kwargs)
+        process.advance_to(start_at)
+        process.charge(self.machine.config.cpu_start_cost_s)
+        self.machine.node(node).stats.processes_started += 1
+        self.stats.processes_spawned += 1
+        self._processes[name] = process
+        return process
+
+    def terminate(self, process: PoolProcess) -> None:
+        """Kill a process; its name becomes reusable."""
+        process.alive = False
+        self._processes.pop(process.name, None)
+        self.stats.processes_terminated += 1
+
+    def process(self, name: str) -> PoolProcess:
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise MachineError(f"no live process named {name!r}") from None
+
+    def live_processes(self) -> list[PoolProcess]:
+        return list(self._processes.values())
+
+    # -- timeline-style messaging ----------------------------------------------
+
+    def send(
+        self,
+        sender: PoolProcess,
+        receiver: PoolProcess,
+        n_bytes: int,
+        depart_at: float | None = None,
+    ) -> float:
+        """Move *n_bytes* from *sender* to *receiver*; returns arrival time.
+
+        The message leaves when the sender is free (or at *depart_at*, if
+        later), crosses the network at the machine's transfer rate, and
+        the receiver's clock is advanced to the arrival.  Send/receive
+        CPU overheads are charged on both sides.
+        """
+        if n_bytes < 0:
+            raise MachineError(f"negative message size: {n_bytes}")
+        departure = sender.charge(SEND_OVERHEAD_S)
+        if depart_at is not None:
+            departure = max(departure, depart_at)
+            sender.advance_to(departure)
+        travel = self.machine.transfer_time(sender.node_id, receiver.node_id, n_bytes)
+        arrival = departure + travel
+        receiver.advance_to(arrival)
+        receiver.charge(RECEIVE_OVERHEAD_S)
+        self._count_message(sender, receiver, n_bytes)
+        return receiver.ready_at
+
+    def _count_message(
+        self, sender: PoolProcess, receiver: PoolProcess, n_bytes: int
+    ) -> None:
+        self.stats.messages += 1
+        self.stats.bytes_moved += n_bytes
+        if sender.node_id == receiver.node_id:
+            self.stats.local_messages += 1
+        sender_node = self.machine.node(sender.node_id)
+        receiver_node = self.machine.node(receiver.node_id)
+        sender_node.stats.messages_sent += 1
+        sender_node.stats.bytes_sent += n_bytes
+        receiver_node.stats.messages_received += 1
+        receiver_node.stats.bytes_received += n_bytes
+
+    # -- reactive-style messaging -----------------------------------------------
+
+    def post(
+        self,
+        sender: PoolProcess | None,
+        receiver: PoolProcess,
+        payload: Any,
+        n_bytes: int = 64,
+    ) -> None:
+        """Deliver *payload* to ``receiver.handle`` at the simulated arrival.
+
+        Used with :meth:`run`; messages from the outside world pass
+        ``sender=None`` and depart at the current loop time.
+        """
+        if sender is not None:
+            departure = sender.charge(SEND_OVERHEAD_S)
+            travel = self.machine.transfer_time(
+                sender.node_id, receiver.node_id, n_bytes
+            )
+            self._count_message(sender, receiver, n_bytes)
+        else:
+            departure = self.loop.now
+            travel = 0.0
+        arrival = max(departure + travel, self.loop.now)
+
+        def deliver() -> None:
+            if not receiver.alive:
+                return
+            receiver.advance_to(self.loop.now)
+            receiver.messages_handled += 1
+            receiver.handle(sender, payload)
+
+        self.loop.schedule_at(arrival, deliver)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drive reactive message delivery; returns events fired."""
+        return self.loop.run(until=until, max_events=max_events)
+
+    # -- reporting ------------------------------------------------------------
+
+    def horizon(self) -> float:
+        """Latest clock over all live processes — the makespan so far."""
+        processes = self.live_processes()
+        return max((p.ready_at for p in processes), default=0.0)

@@ -1,0 +1,210 @@
+"""Parser for PRISMAlog (Prolog-like syntax, per Section 2.3).
+
+Grammar::
+
+    program  := (rule | query)*
+    rule     := atom [ ':-' body ] '.'
+    body     := literal (',' literal)*
+    literal  := atom | term op term
+    atom     := lowercase_ident '(' term (',' term)* ')'
+    term     := Variable | lowercase_ident | number | 'quoted' | "quoted"
+    query    := ('?' | '?-') atom '.'
+
+Identifiers starting with an upper-case letter or ``_`` are variables;
+lower-case identifiers are constant symbols (outside predicate
+position).  ``%`` starts a comment.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.prismalog.ast import (
+    Atom,
+    Builtin,
+    COMPARISON_OPS,
+    Const,
+    Program,
+    Query,
+    Rule,
+    Term,
+    Var,
+)
+
+_OPERATORS = (":-", "<>", "<=", ">=", "?-", "=", "<", ">", "(", ")", ",", ".", "?")
+
+
+def _tokenize(text: str) -> list[tuple[str, object, int, int]]:
+    """Returns (kind, value, line, column) tuples; kind in
+    {'ident', 'var', 'number', 'string', 'op', 'eof'}."""
+    tokens: list[tuple[str, object, int, int]] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        column = i - line_start + 1
+        if ch == "\n":
+            line += 1
+            line_start = i + 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "%":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            end = text.find(quote, i + 1)
+            if end < 0:
+                raise ParseError("unterminated string", line, column)
+            tokens.append(("string", text[i + 1 : end], line, column))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            i += 1
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot
+                                                   and i + 1 < n and text[i + 1].isdigit())):
+                if text[i] == ".":
+                    seen_dot = True
+                i += 1
+            literal = text[start:i]
+            value: object = float(literal) if seen_dot else int(literal)
+            tokens.append(("number", value, line, column))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            kind = "var" if (word[0].isupper() or word[0] == "_") else "ident"
+            tokens.append((kind, word, line, column))
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if text.startswith(operator, i):
+                tokens.append(("op", operator, line, column))
+                i += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(("eof", None, line, n - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.position = 0
+
+    def peek(self):
+        return self.tokens[self.position]
+
+    def advance(self):
+        token = self.tokens[self.position]
+        if token[0] != "eof":
+            self.position += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        kind, value, line, column = self.peek()
+        found = "end of input" if kind == "eof" else repr(value)
+        return ParseError(f"{message} (found {found})", line, column)
+
+    def accept_op(self, *ops: str) -> str | None:
+        kind, value, _, _ = self.peek()
+        if kind == "op" and value in ops:
+            self.advance()
+            return str(value)
+        return None
+
+    def expect_op(self, op: str) -> None:
+        if self.accept_op(op) is None:
+            raise self.error(f"expected {op!r}")
+
+    def program(self) -> Program:
+        rules: list[Rule] = []
+        queries: list[Query] = []
+        while self.peek()[0] != "eof":
+            if self.accept_op("?", "?-"):
+                atom = self.atom()
+                self.expect_op(".")
+                queries.append(Query(atom))
+                continue
+            rules.append(self.rule())
+        return Program(rules, queries)
+
+    def rule(self) -> Rule:
+        head = self.atom()
+        body: list = []
+        if self.accept_op(":-"):
+            body.append(self.literal())
+            while self.accept_op(","):
+                body.append(self.literal())
+        self.expect_op(".")
+        if not body and not head.is_ground():
+            raise self.error(f"fact {head.display()} must be ground")
+        return Rule(head, tuple(body))
+
+    def literal(self):
+        kind, value, _, _ = self.peek()
+        if kind == "ident" and self.tokens[self.position + 1][:2] == ("op", "("):
+            return self.atom()
+        # Otherwise it must be a comparison builtin: term op term.
+        left = self.term()
+        operator = self.accept_op(*COMPARISON_OPS)
+        if operator is None:
+            raise self.error("expected a comparison operator")
+        right = self.term()
+        return Builtin(operator, left, right)
+
+    def atom(self) -> Atom:
+        kind, value, _, _ = self.peek()
+        if kind != "ident":
+            raise self.error("expected a predicate name")
+        self.advance()
+        self.expect_op("(")
+        terms = [self.term()]
+        while self.accept_op(","):
+            terms.append(self.term())
+        self.expect_op(")")
+        return Atom(str(value), tuple(terms))
+
+    def term(self) -> Term:
+        kind, value, _, _ = self.peek()
+        if kind == "var":
+            self.advance()
+            return Var(str(value))
+        if kind == "ident":
+            self.advance()
+            return Const(str(value))
+        if kind in ("number", "string"):
+            self.advance()
+            return Const(value)
+        raise self.error("expected a term")
+
+
+def parse_program(text: str) -> Program:
+    """Parse a PRISMAlog program (rules, facts, and queries)."""
+    return _Parser(text).program()
+
+
+def parse_query(text: str) -> Query:
+    """Parse a single query like ``? ancestor(jan, X).`` (the leading
+    ``?`` and trailing ``.`` are optional for convenience)."""
+    stripped = text.strip()
+    if not stripped.startswith("?"):
+        stripped = "? " + stripped
+    if not stripped.endswith("."):
+        stripped += "."
+    program = parse_program(stripped)
+    if len(program.queries) != 1 or program.rules:
+        raise ParseError("expected exactly one query")
+    return program.queries[0]

@@ -1,0 +1,18 @@
+"""SQL front-end: lexer, recursive-descent parser, and binder
+(paper Section 2.1 — one of the two PRISMA query interfaces)."""
+
+from repro.sql.binder import Binder, BoundDelete, BoundInsert, BoundUpdate
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse_script, parse_statement
+
+__all__ = [
+    "Binder",
+    "BoundDelete",
+    "BoundInsert",
+    "BoundUpdate",
+    "Token",
+    "TokenType",
+    "parse_script",
+    "parse_statement",
+    "tokenize",
+]

@@ -1,0 +1,25 @@
+"""Main-memory relational storage: types, schemas, tables, indexes,
+markings, and cursors — the storage structures inside every
+One-Fragment Manager (paper Section 2.5)."""
+
+from repro.storage.cursor import Cursor
+from repro.storage.indexes import DuplicateKeyError, HashIndex, OrderedIndex
+from repro.storage.markings import Marking, MarkingSet
+from repro.storage.schema import Column, Row, Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType, infer_type
+
+__all__ = [
+    "Column",
+    "Cursor",
+    "DataType",
+    "DuplicateKeyError",
+    "HashIndex",
+    "Marking",
+    "MarkingSet",
+    "OrderedIndex",
+    "Row",
+    "Schema",
+    "Table",
+    "infer_type",
+]

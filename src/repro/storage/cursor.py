@@ -1,0 +1,104 @@
+"""Cursors over tables and markings.
+
+The other half of the OFM's "markings and cursor maintenance"
+(Section 2.5): a cursor is a resumable position in a fragment scan that
+stays well-defined while the fragment changes underneath it.  Rows
+deleted after the cursor was opened are skipped; rows inserted after it
+passed their position are not revisited; ``FETCH`` never yields the same
+row id twice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import StorageError
+from repro.storage.markings import Marking
+from repro.storage.schema import Row
+from repro.storage.table import Table
+
+
+class Cursor:
+    """A resumable scan over one table (optionally through a marking).
+
+    Parameters
+    ----------
+    table:
+        The fragment to scan.
+    marking:
+        Restrict the scan to a marking's row ids.
+    predicate:
+        Optional filter applied to each row.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        marking: Marking | None = None,
+        predicate: Callable[[Row], bool] | None = None,
+    ):
+        if marking is not None and marking.table is not table:
+            raise StorageError("cursor marking belongs to a different table")
+        self.table = table
+        self.marking = marking
+        self.predicate = predicate
+        self._last_rid = -1
+        self._closed = False
+        self.fetched = 0
+
+    def fetch(self) -> tuple[int, Row] | None:
+        """Next matching ``(rid, row)``, or ``None`` at end of scan."""
+        if self._closed:
+            raise StorageError("cursor is closed")
+        candidate_rids = self._candidates()
+        for rid in candidate_rids:
+            if rid <= self._last_rid:
+                continue
+            self._last_rid = rid
+            if not self.table.has_rid(rid):
+                continue
+            row = self.table.get(rid)
+            if self.predicate is not None and not self.predicate(row):
+                continue
+            self.fetched += 1
+            return rid, row
+        return None
+
+    def fetch_many(self, count: int) -> list[tuple[int, Row]]:
+        """Up to *count* further matches."""
+        if count < 0:
+            raise StorageError(f"negative fetch count: {count}")
+        batch = []
+        for _ in range(count):
+            item = self.fetch()
+            if item is None:
+                break
+            batch.append(item)
+        return batch
+
+    def rewind(self) -> None:
+        """Restart the scan from the beginning."""
+        if self._closed:
+            raise StorageError("cursor is closed")
+        self._last_rid = -1
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _candidates(self) -> Sequence[int]:
+        if self.marking is not None:
+            return sorted(self.marking.rids())
+        # Row ids are assigned in increasing order and dict preserves
+        # insertion order, so the scan is already sorted by rid.
+        return [rid for rid, _ in self.table.scan()]
+
+    def __iter__(self):
+        while True:
+            item = self.fetch()
+            if item is None:
+                return
+            yield item

@@ -1,0 +1,114 @@
+"""Markings: named row-id subsets over a table.
+
+Section 2.5 lists "markings and cursor maintenance" among the OFM's
+functions.  A *marking* is a named, persistent selection over a fragment
+— the QUEL-era mechanism behind "mark the tuples satisfying P, then keep
+refining" query styles and behind shipping intermediate selections
+without copying tuples.  Markings compose with set algebra and stay
+consistent under deletions (a deleted row silently leaves every
+marking at read time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.storage.schema import Row
+from repro.storage.table import Table
+
+
+class Marking:
+    """A named set of row ids on one table."""
+
+    def __init__(self, name: str, table: Table, rids: Iterable[int] = ()):
+        self.name = name
+        self.table = table
+        self._rids: set[int] = set(rids)
+
+    def add(self, rid: int) -> None:
+        self._rids.add(rid)
+
+    def discard(self, rid: int) -> None:
+        self._rids.discard(rid)
+
+    def rids(self) -> set[int]:
+        """Live row ids: drops ids whose rows were deleted since marking."""
+        self._rids = {rid for rid in self._rids if self.table.has_rid(rid)}
+        return set(self._rids)
+
+    def rows(self) -> Iterator[tuple[int, Row]]:
+        for rid in sorted(self.rids()):
+            yield rid, self.table.get(rid)
+
+    def __len__(self) -> int:
+        return len(self.rids())
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self.rids()
+
+    # -- set algebra ----------------------------------------------------------
+
+    def _check_same_table(self, other: "Marking") -> None:
+        if other.table is not self.table:
+            raise StorageError(
+                f"markings {self.name!r} and {other.name!r} are on different tables"
+            )
+
+    def union(self, other: "Marking", name: str) -> "Marking":
+        self._check_same_table(other)
+        return Marking(name, self.table, self.rids() | other.rids())
+
+    def intersect(self, other: "Marking", name: str) -> "Marking":
+        self._check_same_table(other)
+        return Marking(name, self.table, self.rids() & other.rids())
+
+    def difference(self, other: "Marking", name: str) -> "Marking":
+        self._check_same_table(other)
+        return Marking(name, self.table, self.rids() - other.rids())
+
+    def complement(self, name: str) -> "Marking":
+        all_rids = {rid for rid, _ in self.table.scan()}
+        return Marking(name, self.table, all_rids - self.rids())
+
+
+class MarkingSet:
+    """The markings an OFM maintains for one fragment."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self._markings: dict[str, Marking] = {}
+
+    def create(self, name: str, rids: Iterable[int] = ()) -> Marking:
+        if name in self._markings:
+            raise StorageError(f"marking {name!r} already exists")
+        marking = Marking(name, self.table, rids)
+        self._markings[name] = marking
+        return marking
+
+    def mark_where(self, name: str, predicate) -> Marking:
+        """Create a marking of all rows satisfying *predicate(row)*."""
+        rids = (rid for rid, row in self.table.scan() if predicate(row))
+        return self.create(name, rids)
+
+    def get(self, name: str) -> Marking:
+        try:
+            return self._markings[name]
+        except KeyError:
+            raise StorageError(f"no marking {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._markings:
+            raise StorageError(f"no marking {name!r}")
+        del self._markings[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._markings)
+
+    def store(self, marking: Marking) -> None:
+        """Register a marking produced by set algebra under its name."""
+        if marking.table is not self.table:
+            raise StorageError("marking belongs to a different table")
+        if marking.name in self._markings:
+            raise StorageError(f"marking {marking.name!r} already exists")
+        self._markings[marking.name] = marking

@@ -1,0 +1,40 @@
+"""Workload generators: Wisconsin-style relations, recursive graph
+workloads, and a debit/credit banking mix."""
+
+from repro.workloads.banking import (
+    Transfer,
+    generate_transfers,
+    setup_bank,
+    total_balance,
+)
+from repro.workloads.graphs import (
+    binary_tree,
+    chain,
+    genealogy,
+    load_edges,
+    parts_explosion,
+    random_dag,
+)
+from repro.workloads.wisconsin import (
+    COLUMN_NAMES,
+    create_table_sql,
+    generate_rows,
+    load_wisconsin,
+)
+
+__all__ = [
+    "COLUMN_NAMES",
+    "Transfer",
+    "binary_tree",
+    "chain",
+    "create_table_sql",
+    "genealogy",
+    "generate_rows",
+    "generate_transfers",
+    "load_edges",
+    "load_wisconsin",
+    "parts_explosion",
+    "random_dag",
+    "setup_bank",
+    "total_balance",
+]

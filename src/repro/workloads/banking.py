@@ -1,0 +1,74 @@
+"""A small banking (debit/credit) workload for the transaction
+experiments (E8/E9): the era's canonical OLTP shape (TP1/DebitCredit).
+
+Accounts are hash-fragmented on id; a *transfer* moves money between
+two accounts — touching one fragment (local) or two (distributed
+commit), which is exactly the 1PC/2PC and lock-conflict surface E8 and
+E9 measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+def setup_bank(db, n_accounts: int, fragments: int, initial_balance: float = 100.0) -> None:
+    """Create and populate the accounts table."""
+    db.execute(
+        "CREATE TABLE account (id INT PRIMARY KEY, balance FLOAT NOT NULL,"
+        f" branch INT) FRAGMENTED BY HASH(id) INTO {fragments}"
+    )
+    rows = [(i, initial_balance, i % 10) for i in range(n_accounts)]
+    db.bulk_load("account", rows)
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One transfer transaction: its statements, in order."""
+
+    source: int
+    target: int
+    amount: float
+
+    def statements(self) -> list[str]:
+        return [
+            f"UPDATE account SET balance = balance - {self.amount}"
+            f" WHERE id = {self.source}",
+            f"UPDATE account SET balance = balance + {self.amount}"
+            f" WHERE id = {self.target}",
+        ]
+
+
+def generate_transfers(
+    n_transfers: int,
+    n_accounts: int,
+    seed: int = 0,
+    hot_fraction: float = 0.0,
+    hot_accounts: int = 1,
+) -> list[Transfer]:
+    """Random transfers; *hot_fraction* of them hit the hot accounts.
+
+    A high hot fraction concentrates conflicts on few fragments — the
+    contention knob of E8.
+    """
+    rng = random.Random(seed)
+    transfers = []
+    for _ in range(n_transfers):
+        if rng.random() < hot_fraction:
+            source = rng.randrange(hot_accounts)
+            target = rng.randrange(hot_accounts)
+            if source == target:
+                target = (target + 1) % max(2, hot_accounts)
+        else:
+            source = rng.randrange(n_accounts)
+            target = rng.randrange(n_accounts)
+            if source == target:
+                target = (target + 1) % n_accounts
+        transfers.append(Transfer(source, target, round(rng.uniform(1, 10), 2)))
+    return transfers
+
+
+def total_balance(db) -> float:
+    """The conservation invariant: transfers never create money."""
+    return db.execute("SELECT SUM(balance) FROM account").scalar()

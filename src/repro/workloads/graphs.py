@@ -1,0 +1,104 @@
+"""Graph workloads for the recursive-query experiments (E6/E7).
+
+The motivating recursive workloads of the era: parts explosion
+(bill-of-materials), genealogies (ancestor queries), and synthetic
+chains/trees/DAGs with controlled depth — depth is the variable that
+separates naive from semi-naive from smart closure.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def chain(length: int) -> list[tuple[int, int]]:
+    """A path 0 -> 1 -> ... -> length (depth = length)."""
+    return [(i, i + 1) for i in range(length)]
+
+
+def binary_tree(depth: int) -> list[tuple[int, int]]:
+    """A complete binary tree, edges parent -> child; node 1 is the root."""
+    edges = []
+    for node in range(1, 2**depth):
+        for child in (2 * node, 2 * node + 1):
+            if child < 2 ** (depth + 1):
+                edges.append((node, child))
+    return edges
+
+
+def random_dag(
+    n_nodes: int, n_edges: int, seed: int = 7
+) -> list[tuple[int, int]]:
+    """A random DAG: edges always go from lower to higher node id."""
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(edges) < n_edges and attempts < 50 * n_edges:
+        attempts += 1
+        a = rng.randrange(n_nodes - 1)
+        b = rng.randrange(a + 1, n_nodes)
+        edges.add((a, b))
+    return sorted(edges)
+
+
+def parts_explosion(
+    n_assemblies: int, fanout: int, depth: int, seed: int = 11
+) -> list[tuple[str, str, int]]:
+    """A bill-of-materials: (assembly, component, quantity) triples.
+
+    *n_assemblies* top-level products, each a tree of sub-assemblies
+    *depth* levels deep with ~*fanout* components per level.
+    """
+    rng = random.Random(seed)
+    triples: list[tuple[str, str, int]] = []
+    counter = 0
+
+    def expand(part: str, level: int) -> None:
+        nonlocal counter
+        if level >= depth:
+            return
+        for _ in range(fanout):
+            counter += 1
+            child = f"part_{counter}"
+            triples.append((part, child, rng.randint(1, 4)))
+            expand(child, level + 1)
+
+    for assembly_index in range(n_assemblies):
+        root = f"product_{assembly_index}"
+        expand(root, 0)
+    return triples
+
+
+def genealogy(generations: int, couples_per_generation: int, seed: int = 3):
+    """(parent, child) pairs over a multi-generation population.
+
+    Returns ``(pairs, people)`` where people maps generation -> names.
+    """
+    rng = random.Random(seed)
+    people: dict[int, list[str]] = {}
+    pairs: list[tuple[str, str]] = []
+    people[0] = [f"g0_p{i}" for i in range(couples_per_generation * 2)]
+    for generation in range(1, generations):
+        previous = people[generation - 1]
+        current: list[str] = []
+        for couple in range(couples_per_generation):
+            father = previous[(2 * couple) % len(previous)]
+            mother = previous[(2 * couple + 1) % len(previous)]
+            for child_index in range(rng.randint(1, 3)):
+                child = f"g{generation}_c{couple}_{child_index}"
+                current.append(child)
+                pairs.append((father, child))
+                pairs.append((mother, child))
+        people[generation] = current
+    return pairs, people
+
+
+def load_edges(db, name: str, edges, fragments: int = 1) -> int:
+    """Create an (src, dst) table in a PrismaDB and load the edges."""
+    first = edges[0] if edges else (0, 0)
+    type_name = "STRING" if isinstance(first[0], str) else "INT"
+    sql = f"CREATE TABLE {name} (src {type_name}, dst {type_name})"
+    if fragments > 1:
+        sql += f" FRAGMENTED BY HASH(src) INTO {fragments}"
+    db.execute(sql)
+    return db.bulk_load(name, [tuple(edge[:2]) for edge in edges])

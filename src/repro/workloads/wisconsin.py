@@ -1,0 +1,105 @@
+"""Wisconsin-benchmark-style relations.
+
+The Wisconsin benchmark (Bitton, DeWitt, Turbyfill 1983) was *the*
+database-machine benchmark of PRISMA's era; its synthetic relation —
+uniform integer columns of controlled selectivities plus padding
+strings — is what a 1988 evaluation would have used.  We generate the
+classic columns deterministically from a seed.
+
+Columns (all derived from ``unique1``/``unique2`` permutations):
+
+=============  =====================================================
+unique1        0..n-1, random permutation (candidate key)
+unique2        0..n-1, sequential (candidate key, declared PK)
+two            unique1 mod 2
+four           unique1 mod 4
+ten            unique1 mod 10
+twenty         unique1 mod 20
+onepercent     unique1 mod 100
+tenpercent     unique1 mod 10
+twentypercent  unique1 mod 5
+fiftypercent   unique1 mod 2
+unique3        unique1 (secondary copy)
+evenonepercent onepercent * 2
+oddonepercent  onepercent * 2 + 1
+stringu1       7-char string keyed by unique1
+stringu2       7-char string keyed by unique2
+string4        cycles through four fixed values
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+COLUMNS_SQL = (
+    "unique1 INT NOT NULL, "
+    "unique2 INT PRIMARY KEY, "
+    "two INT, four INT, ten INT, twenty INT, "
+    "onepercent INT, tenpercent INT, twentypercent INT, fiftypercent INT, "
+    "unique3 INT, evenonepercent INT, oddonepercent INT, "
+    "stringu1 STRING, stringu2 STRING, string4 STRING"
+)
+
+COLUMN_NAMES = [
+    "unique1", "unique2", "two", "four", "ten", "twenty",
+    "onepercent", "tenpercent", "twentypercent", "fiftypercent",
+    "unique3", "evenonepercent", "oddonepercent",
+    "stringu1", "stringu2", "string4",
+]
+
+_STRING4_CYCLE = ("AAAA", "HHHH", "OOOO", "VVVV")
+
+
+def _unique_string(value: int) -> str:
+    """The classic 7-significant-character Wisconsin string."""
+    letters = []
+    remainder = value
+    for _ in range(7):
+        letters.append(chr(ord("A") + remainder % 26))
+        remainder //= 26
+    return "".join(reversed(letters))
+
+
+def generate_rows(n_rows: int, seed: int = 42) -> Iterator[tuple]:
+    """Yield *n_rows* Wisconsin tuples, deterministically."""
+    rng = random.Random(seed)
+    unique1_values = list(range(n_rows))
+    rng.shuffle(unique1_values)
+    for unique2, unique1 in enumerate(unique1_values):
+        onepercent = unique1 % 100
+        yield (
+            unique1,
+            unique2,
+            unique1 % 2,
+            unique1 % 4,
+            unique1 % 10,
+            unique1 % 20,
+            onepercent,
+            unique1 % 10,
+            unique1 % 5,
+            unique1 % 2,
+            unique1,
+            onepercent * 2,
+            onepercent * 2 + 1,
+            _unique_string(unique1),
+            _unique_string(unique2),
+            _STRING4_CYCLE[unique2 % 4],
+        )
+
+
+def create_table_sql(
+    name: str, fragments: int = 1, fragment_by: str = "unique2"
+) -> str:
+    """DDL for one Wisconsin relation, optionally hash-fragmented."""
+    sql = f"CREATE TABLE {name} ({COLUMNS_SQL})"
+    if fragments > 1:
+        sql += f" FRAGMENTED BY HASH({fragment_by}) INTO {fragments}"
+    return sql
+
+
+def load_wisconsin(db, name: str, n_rows: int, fragments: int = 1, seed: int = 42) -> int:
+    """Create and bulk-load a Wisconsin relation into a PrismaDB."""
+    db.execute(create_table_sql(name, fragments))
+    return db.bulk_load(name, list(generate_rows(n_rows, seed)))

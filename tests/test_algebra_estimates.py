@@ -1,0 +1,166 @@
+"""Tests for cardinality/size estimation (optimizer knowledge, E10)."""
+
+import pytest
+
+from repro.exec.expressions import Comparison, InList, IsNull, Like, Not, and_, col, eq, lit, or_
+from repro.exec.operators import JoinKind
+from repro.algebra.estimates import Estimator, RelProfile, TableStats
+from repro.algebra.plan import (
+    AggExpr,
+    AggregateNode,
+    ClosureNode,
+    DistinctNode,
+    JoinNode,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    SetOpNode,
+    ValuesNode,
+)
+from repro.storage import DataType, Schema
+
+EMP = Schema.of(id=DataType.INT, dept=DataType.STRING, sal=DataType.FLOAT)
+STATS = {
+    "emp": TableStats(10_000, 24, {"id": 10_000, "dept": 20, "sal": 1_000}),
+    "dept": TableStats(20, 30, {"dname": 20, "city": 8}),
+}
+
+
+@pytest.fixture
+def estimator():
+    return Estimator(STATS)
+
+
+def emp():
+    return ScanNode("emp", EMP)
+
+
+def dept():
+    return ScanNode("dept", Schema.of(dname=DataType.STRING, city=DataType.STRING))
+
+
+class TestScanAndValues:
+    def test_scan_uses_catalog_stats(self, estimator):
+        profile = estimator.profile(emp())
+        assert profile.rows == 10_000
+        assert profile.row_bytes == 24
+        assert profile.ndv[1] == 20
+
+    def test_unknown_table_gets_default(self, estimator):
+        unknown = ScanNode("mystery", EMP)
+        assert estimator.rows(unknown) == 1000
+
+    def test_values_exact(self, estimator):
+        values = ValuesNode(Schema.of(a=DataType.INT), [(1,), (1,), (2,)])
+        profile = estimator.profile(values)
+        assert profile.rows == 3
+        assert profile.ndv[0] == 2
+
+
+class TestSelectivity:
+    def test_equality_uses_ndv(self, estimator):
+        plan = SelectNode(emp(), eq(col(1), lit("eng")))
+        assert estimator.rows(plan) == pytest.approx(10_000 / 20)
+
+    def test_range_selectivity(self, estimator):
+        plan = SelectNode(emp(), Comparison(">", col(2), lit(50.0)))
+        assert estimator.rows(plan) == pytest.approx(10_000 / 3)
+
+    def test_conjunction_multiplies(self, estimator):
+        plan = SelectNode(
+            emp(), and_(eq(col(1), lit("eng")), Comparison(">", col(2), lit(0.0)))
+        )
+        assert estimator.rows(plan) == pytest.approx(10_000 / 20 / 3)
+
+    def test_disjunction_inclusion_exclusion(self, estimator):
+        plan = SelectNode(
+            emp(), or_(eq(col(1), lit("eng")), eq(col(1), lit("hr")))
+        )
+        expected = 10_000 * (1 - (1 - 0.05) ** 2)
+        assert estimator.rows(plan) == pytest.approx(expected)
+
+    def test_negation(self, estimator):
+        plan = SelectNode(emp(), Not(eq(col(1), lit("eng"))))
+        assert estimator.rows(plan) == pytest.approx(10_000 * 0.95)
+
+    def test_in_list(self, estimator):
+        plan = SelectNode(emp(), InList(col(1), ("a", "b", "c")))
+        assert estimator.rows(plan) == pytest.approx(10_000 * 3 / 20)
+
+    def test_like_and_isnull(self, estimator):
+        like_rows = estimator.rows(SelectNode(emp(), Like(col(1), "e%")))
+        assert like_rows == pytest.approx(2500)
+        null_rows = estimator.rows(SelectNode(emp(), IsNull(col(2))))
+        assert null_rows == pytest.approx(1000)
+
+    def test_never_exceeds_child(self, estimator):
+        plan = SelectNode(emp(), or_(*[eq(col(1), lit(str(i))) for i in range(50)]))
+        assert estimator.rows(plan) <= 10_000
+
+
+class TestJoins:
+    def test_equi_join_formula(self, estimator):
+        join = JoinNode(emp(), dept(), eq(col(1), col(3)))
+        # |emp| * |dept| / max(ndv) = 10000 * 20 / 20
+        assert estimator.rows(join) == pytest.approx(10_000)
+
+    def test_cross_join(self, estimator):
+        join = JoinNode(emp(), dept(), None)
+        assert estimator.rows(join) == pytest.approx(200_000)
+
+    def test_left_outer_at_least_left(self, estimator):
+        join = JoinNode(
+            emp(), dept(), eq(col(0), col(3)), JoinKind.LEFT_OUTER
+        )
+        assert estimator.rows(join) >= 10_000
+
+    def test_semi_join_bounded_by_left(self, estimator):
+        join = JoinNode(emp(), dept(), eq(col(1), col(3)), JoinKind.SEMI)
+        assert estimator.rows(join) <= 10_000
+
+
+class TestOtherOperators:
+    def test_aggregate_group_count(self, estimator):
+        plan = AggregateNode(emp(), [1], [AggExpr("count", None)])
+        assert estimator.rows(plan) == pytest.approx(20)
+
+    def test_global_aggregate_single_row(self, estimator):
+        plan = AggregateNode(emp(), [], [AggExpr("count", None)])
+        assert estimator.rows(plan) == 1
+
+    def test_distinct_capped_by_rows(self, estimator):
+        plan = DistinctNode(emp())
+        assert estimator.rows(plan) <= 10_000
+
+    def test_limit_caps(self, estimator):
+        plan = LimitNode(emp(), 7)
+        assert estimator.rows(plan) == 7
+
+    def test_setops(self, estimator):
+        left = ProjectNode(emp(), [col(1)], ["d"])
+        right = ProjectNode(emp(), [col(1)], ["d"])
+        assert estimator.rows(SetOpNode("union_all", left, right)) == pytest.approx(20_000)
+        assert estimator.rows(SetOpNode("intersect", left, right)) <= 10_000
+        assert estimator.rows(SetOpNode("except", left, right)) <= 10_000
+
+    def test_closure_expansion_capped(self, estimator):
+        edges = ScanNode("dept", Schema.of(a=DataType.STRING, b=DataType.STRING))
+        plan = ClosureNode(edges)
+        rows = estimator.rows(plan)
+        assert rows >= estimator.rows(edges)
+
+    def test_projection_keeps_rows_updates_ndv(self, estimator):
+        plan = ProjectNode(emp(), [col(1), lit(1)], ["dept", "one"])
+        profile = estimator.profile(plan)
+        assert profile.rows == 10_000
+        assert profile.ndv[0] == 20
+        assert profile.ndv[1] == 1
+
+    def test_shared_profile_lookup(self):
+        shared = {"cse0": RelProfile(77, 10, [77.0])}
+        estimator = Estimator({}, shared)
+        from repro.algebra.plan import SharedScanNode
+
+        node = SharedScanNode("cse0", Schema.of(a=DataType.INT))
+        assert estimator.rows(node) == 77

@@ -1,0 +1,228 @@
+"""Tests for pruning, CSE, join ordering, and the optimizer pipeline."""
+
+import pytest
+
+from repro.exec.expressions import Arithmetic, Comparison, and_, col, eq, lit
+from repro.algebra.estimates import Estimator, TableStats
+from repro.algebra.join_order import reorder_joins
+from repro.algebra.local_exec import LocalExecutor
+from repro.algebra.optimizer import Optimizer, OptimizerOptions
+from repro.algebra.plan import (
+    AggExpr,
+    AggregateNode,
+    DistinctNode,
+    JoinNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    SharedScanNode,
+    SortNode,
+    ValuesNode,
+)
+from repro.algebra.pruning import prune_columns
+from repro.algebra.subexpr import extract_common_subexpressions
+from repro.storage import DataType, Schema
+
+EMP = Schema.of(id=DataType.INT, name=DataType.STRING, dept=DataType.STRING, sal=DataType.FLOAT)
+DEPT = Schema.of(dname=DataType.STRING, city=DataType.STRING)
+PROJ = Schema.of(pid=DataType.INT, owner=DataType.INT, budget=DataType.FLOAT)
+
+TABLES = {
+    "emp": [
+        (1, "ada", "eng", 120.0), (2, "bob", "eng", 95.0),
+        (3, "cy", "sales", 80.0), (4, "dee", "sales", 85.0),
+        (5, "eve", "hr", 70.0),
+    ],
+    "dept": [("eng", "ams"), ("sales", "rtm"), ("hr", "utr")],
+    "proj": [(10, 1, 5.0), (11, 2, 9.0), (12, 1, 2.0)],
+}
+
+STATS = {
+    "emp": TableStats(5, 30, {"id": 5, "dept": 3}),
+    "dept": TableStats(3, 20, {"dname": 3}),
+    "proj": TableStats(3, 16, {"pid": 3, "owner": 2}),
+}
+
+
+def emp():
+    return ScanNode("emp", EMP)
+
+
+def dept():
+    return ScanNode("dept", DEPT)
+
+
+def proj():
+    return ScanNode("proj", PROJ)
+
+
+def run(plan, shared=None):
+    executor = LocalExecutor(TABLES, shared=shared)
+    return sorted(executor.run(plan), key=repr)
+
+
+class TestPruning:
+    def test_root_schema_unchanged(self):
+        plan = ProjectNode(
+            JoinNode(emp(), dept(), eq(col(2), col(4))),
+            [col(1), col(5)], ["name", "city"],
+        )
+        pruned = prune_columns(plan)
+        assert pruned.schema.names() == plan.schema.names()
+        assert run(plan) == run(pruned)
+
+    def test_join_inputs_narrowed(self):
+        plan = ProjectNode(
+            JoinNode(emp(), dept(), eq(col(2), col(4))),
+            [col(1)], ["name"],
+        )
+        pruned = prune_columns(plan)
+        # The emp side must not carry id/sal into the join.
+        join = next(n for n in pruned.walk() if isinstance(n, JoinNode))
+        assert len(join.left.schema) == 2  # name + dept
+        assert run(plan) == run(pruned)
+
+    def test_select_columns_preserved_for_predicate(self):
+        plan = ProjectNode(
+            SelectNode(emp(), Comparison(">", col(3), lit(80.0))),
+            [col(1)], ["name"],
+        )
+        pruned = prune_columns(plan)
+        assert run(plan) == run(pruned)
+
+    def test_aggregate_drops_unused_aggregates(self):
+        agg = AggregateNode(
+            emp(), [2],
+            [AggExpr("count", None), AggExpr("sum", col(3)), AggExpr("max", col(0))],
+            ["dept", "n", "total", "maxid"],
+        )
+        plan = ProjectNode(agg, [col(0), col(2)], ["dept", "total"])
+        pruned = prune_columns(plan)
+        inner = next(n for n in pruned.walk() if isinstance(n, AggregateNode))
+        assert len(inner.aggregates) == 1  # only SUM survives
+        assert run(plan) == run(pruned)
+
+    def test_sort_and_distinct_preserved(self):
+        plan = SortNode(DistinctNode(ProjectNode(emp(), [col(2)], ["dept"])), [(0, False)])
+        pruned = prune_columns(plan)
+        assert run(plan) == run(pruned)
+
+    def test_pruning_shrinks_intermediate_width(self):
+        # 16-wide scan, output needs 1 column: join inputs should shrink.
+        wide_schema = Schema.of(**{f"c{i}": DataType.INT for i in range(16)})
+        wide_rows = [tuple(range(j, j + 16)) for j in range(4)]
+        tables = {"wide": wide_rows}
+        scan = ScanNode("wide", wide_schema)
+        plan = ProjectNode(
+            SelectNode(scan, Comparison(">", col(0), lit(0))),
+            [col(15)], ["last"],
+        )
+        pruned = prune_columns(plan)
+        select = next(n for n in pruned.walk() if isinstance(n, SelectNode))
+        assert len(select.schema) == 2  # c0 (predicate) + c15 (output)
+        assert sorted(LocalExecutor(tables).run(plan)) == sorted(
+            LocalExecutor(tables).run(pruned)
+        )
+
+
+class TestCommonSubexpressions:
+    def test_repeated_subtree_extracted_once(self):
+        filtered = SelectNode(emp(), Comparison(">", col(3), lit(80.0)))
+        self_join = JoinNode(filtered, filtered, eq(col(0), col(4)))
+        rewritten, shared = extract_common_subexpressions(self_join)
+        assert len(shared) == 1
+        assert shared[0].occurrences == 2
+        scans = [n for n in rewritten.walk() if isinstance(n, SharedScanNode)]
+        assert len(scans) == 2
+
+    def test_results_preserved_through_sharing(self):
+        filtered = SelectNode(emp(), Comparison(">", col(3), lit(80.0)))
+        self_join = JoinNode(filtered, filtered, eq(col(0), col(4)))
+        rewritten, shared = extract_common_subexpressions(self_join)
+        shared_rows = {s.token: run(s.plan) for s in shared}
+        assert run(self_join) == run(rewritten, shared=shared_rows)
+
+    def test_leaves_never_extracted(self):
+        self_join = JoinNode(emp(), emp(), eq(col(0), col(4)))
+        rewritten, shared = extract_common_subexpressions(self_join)
+        assert shared == []
+
+    def test_no_repeats_no_change(self):
+        plan = SelectNode(emp(), eq(col(0), lit(1)))
+        rewritten, shared = extract_common_subexpressions(plan)
+        assert shared == []
+        assert rewritten.key() == plan.key()
+
+
+class TestJoinOrdering:
+    def _three_way(self):
+        # (emp x dept) x proj with conditions chosen so the optimizer
+        # should join the small tables first.
+        j1 = JoinNode(emp(), dept(), eq(col(2), col(4)))
+        j2 = JoinNode(j1, proj(), eq(col(0), col(7)))  # emp.id = proj.owner
+        return j2
+
+    def test_reorder_preserves_results_and_schema(self):
+        plan = self._three_way()
+        estimator = Estimator(STATS)
+        reordered = reorder_joins(plan, estimator)
+        assert reordered.schema.names() == plan.schema.names()
+        assert run(plan) == run(reordered)
+
+    def test_reorder_handles_cross_products(self):
+        plan = JoinNode(JoinNode(emp(), dept(), None), proj(), None)
+        estimator = Estimator(STATS)
+        reordered = reorder_joins(plan, estimator)
+        assert run(plan) == run(reordered)
+
+    def test_two_way_left_alone(self):
+        plan = JoinNode(emp(), dept(), eq(col(2), col(4)))
+        estimator = Estimator(STATS)
+        assert reorder_joins(plan, estimator) is plan
+
+
+class TestOptimizerPipeline:
+    def _query(self):
+        join = JoinNode(emp(), dept(), eq(col(2), col(4)))
+        return ProjectNode(
+            SelectNode(join, and_(
+                Comparison(">", col(3), lit(75.0)),
+                eq(col(5), lit("ams")),
+            )),
+            [col(1), Arithmetic("*", col(3), lit(2.0))],
+            ["name", "dsal"],
+        )
+
+    def test_optimized_results_match(self):
+        plan = self._query()
+        optimized = Optimizer(STATS).optimize(plan)
+        shared_rows = {s.token: run(s.plan) for s in optimized.shared}
+        assert run(plan) == run(optimized.plan, shared=shared_rows)
+
+    def test_all_stages_can_be_disabled(self):
+        plan = self._query()
+        options = OptimizerOptions(
+            enable_rewrites=False,
+            enable_join_reorder=False,
+            enable_prune=False,
+            enable_cse=False,
+        )
+        optimized = Optimizer(STATS, options).optimize(plan)
+        assert optimized.plan.key() == plan.key()
+        assert optimized.fired_rules == []
+
+    def test_estimates_attached(self):
+        optimized = Optimizer(STATS).optimize(self._query())
+        assert optimized.estimated_rows >= 0
+
+    def test_explain_mentions_rules(self):
+        optimized = Optimizer(STATS).optimize(self._query())
+        assert "rules fired" in optimized.explain()
+
+    def test_cse_materializes_self_join(self):
+        filtered = SelectNode(emp(), Comparison(">", col(3), lit(80.0)))
+        plan = JoinNode(filtered, filtered, eq(col(0), col(4)))
+        optimized = Optimizer(STATS).optimize(plan)
+        assert len(optimized.shared) == 1
+        shared_rows = {s.token: run(s.plan) for s in optimized.shared}
+        assert run(plan) == run(optimized.plan, shared=shared_rows)

@@ -1,0 +1,149 @@
+"""Capstone: a day in the life of the PRISMA machine.
+
+One scenario that crosses every subsystem: DDL with fragmentation,
+replication and indexes; bulk loading; concurrent OLTP with conflicts
+and a deadlock; parallel analytics through the optimizer; recursive
+queries through both front-ends; a checkpoint; a crash mid-transaction;
+restart recovery; and a final audit that everything adds up.
+"""
+
+import pytest
+
+from repro import MachineConfig, PrismaDB
+from repro.core.workload import InterleavedDriver
+from repro.workloads import genealogy
+
+
+@pytest.fixture(scope="module")
+def world():
+    db = PrismaDB(MachineConfig(n_nodes=24, disk_nodes=(0, 8, 16)))
+
+    db.execute(
+        "CREATE TABLE customer (id INT PRIMARY KEY, name STRING, city STRING)"
+        " FRAGMENTED BY HASH(id) INTO 6 WITH 2 REPLICAS"
+    )
+    db.execute(
+        "CREATE TABLE orders (oid INT PRIMARY KEY, cust INT, amount FLOAT)"
+        " FRAGMENTED BY HASH(oid) INTO 6"
+    )
+    db.execute("CREATE INDEX orders_by_cust ON orders (cust)")
+    db.execute(
+        "CREATE TABLE refers (sponsor STRING, recruit STRING)"
+        " FRAGMENTED BY HASH(sponsor) INTO 3"
+    )
+
+    cities = ["ams", "rtm", "utr", "ein"]
+    db.bulk_load(
+        "customer",
+        [(i, f"cust{i}", cities[i % 4]) for i in range(60)],
+    )
+    db.bulk_load(
+        "orders",
+        [(o, o % 60, float(10 + o % 90)) for o in range(300)],
+    )
+    pairs, _people = genealogy(4, 2, seed=6)
+    db.bulk_load("refers", pairs)
+    db.execute("ANALYZE")
+    db.quiesce()
+    return db
+
+
+def test_01_analytics_through_the_optimizer(world):
+    result = world.execute(
+        "SELECT c.city, COUNT(*) AS orders, SUM(o.amount) AS revenue"
+        " FROM orders o JOIN customer c ON o.cust = c.id"
+        " GROUP BY c.city ORDER BY revenue DESC"
+    )
+    assert len(result.rows) == 4
+    total = world.execute("SELECT SUM(amount) FROM orders").scalar()
+    assert sum(row[2] for row in result.rows) == pytest.approx(total)
+    assert result.report.fragments_scanned >= 12  # both tables, all frags
+
+
+def test_02_index_point_lookups(world):
+    result = world.execute("SELECT amount FROM orders WHERE oid = 123")
+    assert result.rows == [(10.0 + 123 % 90,)]
+    assert result.report.index_scans >= 1
+    by_customer = world.execute("SELECT COUNT(*) FROM orders WHERE cust = 7")
+    assert by_customer.scalar() == 5
+    assert by_customer.report.index_scans >= 1
+
+
+def test_03_concurrent_oltp_with_conflicts(world):
+    before = world.execute("SELECT SUM(amount) FROM orders").scalar()
+    scripts = []
+    for client in range(4):
+        transactions = []
+        for t in range(3):
+            oid = client * 3 + t
+            transactions.append([
+                f"UPDATE orders SET amount = amount + 5 WHERE oid = {oid}",
+                f"UPDATE orders SET amount = amount - 5 WHERE oid = {oid + 100}",
+            ])
+        scripts.append(transactions)
+    report = InterleavedDriver(world).run(scripts)
+    assert report.transactions_committed == 12
+    after = world.execute("SELECT SUM(amount) FROM orders").scalar()
+    assert after == pytest.approx(before)
+
+
+def test_04_recursion_through_both_interfaces(world):
+    (logic,) = world.execute_prismalog(
+        """
+        downline(X, Y) :- refers(X, Y).
+        downline(X, Z) :- refers(X, Y), downline(Y, Z).
+        ? downline(X, Y).
+        """
+    )
+    assert logic.prismalog_stats["compiled_to_algebra"] is True
+    sql_rows = world.query("SELECT sponsor, recruit FROM CLOSURE(refers)")
+    assert sorted(logic.rows) == sorted(sql_rows)
+    assert len(sql_rows) > len(world.query("SELECT * FROM refers"))
+
+
+def test_05_replicated_reads_and_writes(world):
+    info = world.catalog.table("customer")
+    assert all(fragment.replicas for fragment in info.fragments)
+    world.execute("UPDATE customer SET city = 'ley' WHERE id = 5")
+    fragment = info.fragments[info.scheme.fragment_of((5, "", ""))]
+    for _node, ofm_name in fragment.all_copies():
+        ofm = world.gdh.fragment_ofms[ofm_name]
+        row = next(r for r in ofm.table.rows() if r[0] == 5)
+        assert row[2] == "ley"
+
+
+def test_06_crash_and_recovery_preserve_committed_state(world):
+    orders_before = world.execute("SELECT SUM(amount) FROM orders").scalar()
+    customers_before = world.table_row_count("customer")
+    world.checkpoint()
+
+    # Committed after the checkpoint: must survive via the WAL.
+    world.execute("INSERT INTO customer VALUES (1000, 'late', 'ams')")
+    # In-flight at crash time: must vanish.
+    doomed = world.session()
+    doomed.begin()
+    doomed.execute("DELETE FROM orders")
+
+    world.crash()
+    recovery = world.restart()
+    assert recovery.fragments_recovered == 6 * 2 + 6 + 3  # customer copies + orders + refers
+
+    assert world.execute("SELECT SUM(amount) FROM orders").scalar() == pytest.approx(
+        orders_before
+    )
+    assert world.table_row_count("customer") == customers_before + 1
+    assert world.query("SELECT name FROM customer WHERE id = 1000") == [("late",)]
+
+
+def test_07_post_recovery_everything_still_works(world):
+    result = world.execute(
+        "SELECT city, COUNT(*) FROM customer GROUP BY city ORDER BY 2 DESC, city"
+    )
+    assert sum(row[1] for row in result.rows) == world.table_row_count("customer")
+    (logic,) = world.execute_prismalog(
+        "big_spender(C) :- orders(O, C, A), A > 94.0. ? big_spender(X)."
+    )
+    sql = world.query("SELECT DISTINCT cust FROM orders WHERE amount > 94.0")
+    assert sorted(logic.rows) == sorted(sql)
+    fragments = world.execute("SHOW FRAGMENTS customer")
+    assert len(fragments.rows) == 12  # 6 fragments x 2 copies

@@ -1,0 +1,334 @@
+"""Distributed execution correctness: every strategy must produce the
+same rows as single-site evaluation, at any fragment count.
+
+The oracle is :class:`LocalExecutor` over the gathered base tables; the
+subject is :class:`DistributedExecutor` over fragmented OFMs.
+"""
+
+import pytest
+
+from repro.exec.expressions import (
+    Arithmetic,
+    Comparison,
+    and_,
+    col,
+    eq,
+    lit,
+)
+from repro.exec.operators import JoinKind
+from repro.machine import Machine, MachineConfig
+from repro.algebra.local_exec import LocalExecutor
+from repro.algebra.optimizer import OptimizedPlan
+from repro.algebra.plan import (
+    AggExpr,
+    AggregateNode,
+    ClosureNode,
+    DeltaScanNode,
+    DistinctNode,
+    FixpointNode,
+    JoinNode,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    SetOpNode,
+    SortNode,
+    ValuesNode,
+)
+from repro.algebra.subexpr import extract_common_subexpressions
+from repro.core.catalog import Catalog, FragmentInfo, TableInfo
+from repro.core.executor import DistributedExecutor
+from repro.core.fragmentation import HashFragmentation, RoundRobinFragmentation
+from repro.ofm.manager import OFMProfile, OneFragmentManager
+from repro.pool import PoolProcess, PoolRuntime
+from repro.storage import DataType, Schema
+
+EMP = Schema.of(id=DataType.INT, name=DataType.STRING, dept=DataType.STRING, sal=DataType.FLOAT)
+DEPT = Schema.of(dname=DataType.STRING, city=DataType.STRING)
+EDGE = Schema.of(src=DataType.INT, dst=DataType.INT)
+
+EMP_ROWS = [
+    (i, f"name{i}", ["eng", "sales", "hr"][i % 3], 50.0 + i * 3) for i in range(30)
+]
+DEPT_ROWS = [("eng", "ams"), ("sales", "rtm"), ("hr", "utr"), ("ops", "ein")]
+EDGE_ROWS = [(i, i + 1) for i in range(8)] + [(0, 5)]
+
+
+class Harness:
+    """A machine + catalog + fragment OFMs, without the full GDH."""
+
+    def __init__(self, fragments: dict[str, int]):
+        config = MachineConfig(n_nodes=16, disk_nodes=(0,))
+        self.runtime = PoolRuntime(Machine(config))
+        self.catalog = Catalog()
+        self.fragment_ofms: dict[str, OneFragmentManager] = {}
+        tables = {"emp": (EMP, EMP_ROWS), "dept": (DEPT, DEPT_ROWS), "edge": (EDGE, EDGE_ROWS)}
+        node = 1
+        for name, (schema, rows) in tables.items():
+            n = fragments.get(name, 1)
+            scheme = HashFragmentation(0, n) if n > 1 else RoundRobinFragmentation(1)
+            infos = []
+            buckets = {}
+            for row in rows:
+                buckets.setdefault(scheme.fragment_of(row), []).append(row)
+            for fragment_id in range(n):
+                ofm_name = f"{name}.{fragment_id}"
+                ofm = self.runtime.spawn(
+                    OneFragmentManager, name=ofm_name,
+                    node=(node % 15) + 1, schema=schema,
+                    profile=OFMProfile.QUERY,
+                )
+                node += 1
+                ofm.bulk_load(buckets.get(fragment_id, []))
+                self.fragment_ofms[ofm_name] = ofm
+                infos.append(FragmentInfo(fragment_id, ofm.node_id, ofm_name))
+            self.catalog.create_table(
+                TableInfo(name=name, schema=schema, scheme=scheme, fragments=infos)
+            )
+        self.executor = DistributedExecutor(
+            self.runtime, self.catalog, self.fragment_ofms
+        )
+        self.query_process = self.runtime.spawn(PoolProcess, name="qp", node=0)
+
+    def run(self, plan, shared=()):
+        optimized = OptimizedPlan(plan=plan, shared=list(shared))
+        rows, report = self.executor.execute(optimized, self.query_process)
+        return rows, report
+
+
+def oracle(plan, shared_plans=()):
+    tables = {"emp": EMP_ROWS, "dept": DEPT_ROWS, "edge": EDGE_ROWS}
+    shared_rows = {}
+    for shared in shared_plans:
+        shared_rows[shared.token] = LocalExecutor(tables, shared=shared_rows).run(shared.plan)
+    return LocalExecutor(tables, shared=shared_rows).run(plan)
+
+
+def check(plan, fragments, shared=()):
+    harness = Harness(fragments)
+    rows, report = harness.run(plan, shared)
+    expected = oracle(plan, shared)
+    assert sorted(rows, key=repr) == sorted(expected, key=repr)
+    return report
+
+
+FRAGMENT_CONFIGS = [
+    {"emp": 1, "dept": 1, "edge": 1},
+    {"emp": 4, "dept": 1, "edge": 2},
+    {"emp": 8, "dept": 2, "edge": 4},
+]
+
+
+@pytest.mark.parametrize("fragments", FRAGMENT_CONFIGS)
+class TestDistributedCorrectness:
+    def test_scan(self, fragments):
+        check(ScanNode("emp", EMP), fragments)
+
+    def test_select_project(self, fragments):
+        plan = ProjectNode(
+            SelectNode(
+                ScanNode("emp", EMP), Comparison(">", col(3), lit(80.0))
+            ),
+            [col(1), Arithmetic("*", col(3), lit(2.0))],
+            ["name", "dsal"],
+        )
+        check(plan, fragments)
+
+    def test_point_select_prunes_hash_fragments(self, fragments):
+        plan = SelectNode(ScanNode("emp", EMP), eq(col(0), lit(7)))
+        report = check(plan, fragments)
+        if fragments["emp"] > 1:
+            assert report.fragments_pruned > 0
+
+    def test_equi_join_repartition(self, fragments):
+        plan = JoinNode(
+            ScanNode("emp", EMP), ScanNode("dept", DEPT), eq(col(2), col(4))
+        )
+        check(plan, fragments)
+
+    def test_co_partitioned_join(self, fragments):
+        # Self-join on the fragmentation key: no repartition needed.
+        plan = JoinNode(
+            ScanNode("emp", EMP), ScanNode("emp", EMP), eq(col(0), col(4))
+        )
+        check(plan, fragments)
+
+    def test_non_equi_join_broadcast(self, fragments):
+        plan = JoinNode(
+            ScanNode("dept", DEPT),
+            ScanNode("dept", DEPT),
+            Comparison("<", col(0), col(2)),
+        )
+        check(plan, fragments)
+
+    def test_left_outer_join(self, fragments):
+        plan = JoinNode(
+            ScanNode("dept", DEPT),
+            ScanNode("emp", EMP),
+            eq(col(0), col(4)),
+            JoinKind.LEFT_OUTER,
+        )
+        check(plan, fragments)
+
+    def test_semi_and_anti_join(self, fragments):
+        for kind in (JoinKind.SEMI, JoinKind.ANTI):
+            plan = JoinNode(
+                ScanNode("dept", DEPT),
+                ScanNode("emp", EMP),
+                eq(col(0), col(4)),
+                kind,
+            )
+            check(plan, fragments)
+
+    def test_global_aggregate(self, fragments):
+        plan = AggregateNode(
+            ScanNode("emp", EMP), [],
+            [AggExpr("count", None), AggExpr("sum", col(3)),
+             AggExpr("avg", col(3)), AggExpr("min", col(0)), AggExpr("max", col(0))],
+        )
+        check(plan, fragments)
+
+    def test_grouped_aggregate_two_phase(self, fragments):
+        plan = AggregateNode(
+            ScanNode("emp", EMP), [2],
+            [AggExpr("count", None), AggExpr("avg", col(3)), AggExpr("max", col(3))],
+        )
+        check(plan, fragments)
+
+    def test_distinct_aggregate_gathers(self, fragments):
+        plan = AggregateNode(
+            ScanNode("emp", EMP), [2],
+            [AggExpr("count", col(3), distinct=True)],
+        )
+        check(plan, fragments)
+
+    def test_distinct(self, fragments):
+        plan = DistinctNode(ProjectNode(ScanNode("emp", EMP), [col(2)], ["dept"]))
+        check(plan, fragments)
+
+    def test_sort_limit(self, fragments):
+        plan = LimitNode(
+            SortNode(ScanNode("emp", EMP), [(3, True), (0, False)]), 5, 2
+        )
+        harness = Harness(fragments)
+        rows, _ = harness.run(plan)
+        expected = oracle(plan)
+        assert rows == expected  # ordered comparison
+
+    def test_set_operations(self, fragments):
+        eng = ProjectNode(
+            SelectNode(ScanNode("emp", EMP), eq(col(2), lit("eng"))),
+            [col(2)], ["d"],
+        )
+        all_depts = ProjectNode(ScanNode("emp", EMP), [col(2)], ["d"])
+        for op in ("union", "union_all", "intersect", "except"):
+            check(SetOpNode(op, all_depts, eng), fragments)
+
+    def test_closure(self, fragments):
+        plan = ClosureNode(ScanNode("edge", EDGE))
+        check(plan, fragments)
+
+    def test_fixpoint_with_distributed_base(self, fragments):
+        edge = ScanNode("edge", EDGE)
+        step = ProjectNode(
+            JoinNode(DeltaScanNode("tc", EDGE), edge, eq(col(1), col(2))),
+            [col(0), col(3)], ["src", "dst"],
+        )
+        plan = FixpointNode(edge, step, "tc")
+        check(plan, fragments)
+
+    def test_values(self, fragments):
+        plan = ValuesNode(Schema.of(a=DataType.INT), [(1,), (2,)])
+        check(plan, fragments)
+
+    def test_shared_subexpressions(self, fragments):
+        filtered = SelectNode(ScanNode("emp", EMP), Comparison(">", col(3), lit(90.0)))
+        self_join = JoinNode(filtered, filtered, eq(col(0), col(4)))
+        rewritten, shared = extract_common_subexpressions(self_join)
+        assert shared
+        harness = Harness(fragments)
+        rows, _ = harness.run(rewritten, shared)
+        assert sorted(rows, key=repr) == sorted(oracle(self_join), key=repr)
+
+
+class TestSimulatedAccounting:
+    def test_parallel_scan_is_faster_than_serial(self):
+        plan = SelectNode(ScanNode("emp", EMP), Comparison(">", col(3), lit(0.0)))
+        serial = Harness({"emp": 1})
+        serial_report = serial.run(plan)[1]
+        parallel = Harness({"emp": 8})
+        parallel_report = parallel.run(plan)[1]
+        assert parallel_report.response_time < serial_report.response_time
+
+    def test_messages_scale_with_fragments(self):
+        plan = ScanNode("emp", EMP)
+        few = Harness({"emp": 2}).run(plan)[1]
+        many = Harness({"emp": 8}).run(plan)[1]
+        assert many.messages > few.messages
+
+    def test_temp_ofms_cleaned_up(self):
+        harness = Harness({"emp": 4, "edge": 2})
+        harness.run(ClosureNode(ScanNode("edge", EDGE)))
+        assert all(
+            not process.name.startswith("temp-ofm")
+            for process in harness.runtime.live_processes()
+        )
+
+    def test_report_counts_rows_and_fragments(self):
+        harness = Harness({"emp": 4})
+        rows, report = harness.run(ScanNode("emp", EMP))
+        assert report.rows_returned == len(EMP_ROWS)
+        assert report.fragments_scanned == 4
+        assert report.bytes_shipped > 0
+
+
+class TestDistributedClosure:
+    """The parallel fixpoint strategy must agree with the gathered one."""
+
+    def _closure_plan(self):
+        return ClosureNode(ScanNode("edge", EDGE))
+
+    def test_strategies_agree(self):
+        expected = oracle(self._closure_plan())
+        for distributed in (True, False):
+            harness = Harness({"edge": 4})
+            harness.executor.distributed_closure = distributed
+            rows, _ = harness.run(self._closure_plan())
+            assert sorted(rows) == sorted(expected), distributed
+
+    def test_distributed_spreads_work(self):
+        harness = Harness({"edge": 4})
+        harness.executor.distributed_closure = True
+        harness.run(self._closure_plan())
+        busy = [
+            node.stats.busy_time_s
+            for node in harness.runtime.machine.nodes
+            if node.stats.busy_time_s > 0
+        ]
+        assert len(busy) >= 3  # several elements participated
+
+    def test_single_fragment_uses_local_operator(self):
+        harness = Harness({"edge": 1})
+        harness.executor.distributed_closure = True
+        rows, _ = harness.run(self._closure_plan())
+        assert sorted(rows) == sorted(oracle(self._closure_plan()))
+
+    def test_cycles_converge_distributed(self):
+        # A cyclic graph exercises convergence of the distributed rounds.
+        cyclic = [(0, 1), (1, 2), (2, 0), (2, 3)]
+        harness = Harness({"edge": 2})
+        # Overwrite fragment contents with the cyclic graph.
+        info = harness.catalog.table("edge")
+        for fragment in info.fragments:
+            ofm = harness.fragment_ofms[fragment.ofm_name]
+            ofm.table.truncate()
+        scheme = info.scheme
+        for row in cyclic:
+            fragment = info.fragments[scheme.fragment_of(row)]
+            harness.fragment_ofms[fragment.ofm_name].table.insert(row)
+        harness.executor.distributed_closure = True
+        rows, _ = harness.run(self._closure_plan())
+        import networkx as nx
+
+        expected = sorted(nx.transitive_closure(nx.DiGraph(cyclic)).edges())
+        assert sorted(rows) == expected

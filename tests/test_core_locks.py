@@ -1,0 +1,166 @@
+"""Tests for the fragment lock manager: S/X modes, FIFO queues,
+deadlock detection, release-time accounting."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.core.locks import LockManager, LockMode, WouldBlock
+
+R1 = ("emp", 0)
+R2 = ("emp", 1)
+R3 = ("dept", 0)
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+class TestGrants:
+    def test_shared_locks_coexist(self, locks):
+        locks.acquire(1, R1, S)
+        locks.acquire(2, R1, S)
+        assert set(locks.holders(R1)) == {1, 2}
+
+    def test_exclusive_excludes(self, locks):
+        locks.acquire(1, R1, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R1, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R1, S)
+
+    def test_shared_blocks_exclusive(self, locks):
+        locks.acquire(1, R1, S)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R1, X)
+
+    def test_reentrant(self, locks):
+        locks.acquire(1, R1, X)
+        locks.acquire(1, R1, X)
+        locks.acquire(1, R1, S)  # covered by X
+        assert locks.holders(R1) == {1: X}
+
+    def test_upgrade_sole_holder(self, locks):
+        locks.acquire(1, R1, S)
+        locks.acquire(1, R1, X)
+        assert locks.holders(R1) == {1: X}
+
+    def test_upgrade_with_other_reader_blocks(self, locks):
+        locks.acquire(1, R1, S)
+        locks.acquire(2, R1, S)
+        with pytest.raises(WouldBlock):
+            locks.acquire(1, R1, X)
+
+    def test_different_resources_independent(self, locks):
+        locks.acquire(1, R1, X)
+        locks.acquire(2, R2, X)
+        locks.acquire(3, R3, X)
+        assert locks.locks_of(1) == [R1]
+
+
+class TestReleaseAndWaiters:
+    def test_release_grants_waiter_with_release_time(self, locks):
+        locks.acquire(1, R1, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R1, X)
+        locks.release_all(1, release_time=42.0)
+        floor = locks.acquire(2, R1, X)
+        assert floor == 42.0
+
+    def test_release_time_monotone(self, locks):
+        locks.acquire(1, R1, X)
+        locks.release_all(1, release_time=50.0)
+        locks.acquire(2, R1, X)
+        locks.release_all(2, release_time=30.0)  # out-of-order stamp
+        floor = locks.acquire(3, R1, X)
+        assert floor == 50.0
+
+    def test_fifo_fairness_incompatible_waiters(self, locks):
+        locks.acquire(1, R1, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R1, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(3, R1, X)
+        locks.release_all(1, 1.0)
+        # 3 retries first but 2 is ahead in the queue.
+        with pytest.raises(WouldBlock):
+            locks.acquire(3, R1, X)
+        locks.acquire(2, R1, X)
+
+    def test_shared_waiters_join_each_other(self, locks):
+        locks.acquire(1, R1, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R1, S)
+        with pytest.raises(WouldBlock):
+            locks.acquire(3, R1, S)
+        locks.release_all(1, 1.0)
+        locks.acquire(3, R1, S)  # S behind S: no fairness barrier
+        locks.acquire(2, R1, S)
+        assert set(locks.holders(R1)) == {2, 3}
+
+    def test_release_returns_contended_resources(self, locks):
+        locks.acquire(1, R1, X)
+        locks.acquire(1, R2, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R1, X)
+        unblocked = locks.release_all(1, 1.0)
+        assert unblocked == [R1]
+
+    def test_conflict_counter(self, locks):
+        locks.acquire(1, R1, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R1, X)
+        assert locks.conflicts == 1
+
+
+class TestDeadlocks:
+    def test_two_party_deadlock_detected(self, locks):
+        locks.acquire(1, R1, X)
+        locks.acquire(2, R2, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(1, R2, X)  # 1 waits for 2
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, R1, X)  # 2 waits for 1: cycle
+        assert locks.deadlocks_detected == 1
+
+    def test_three_party_cycle(self, locks):
+        locks.acquire(1, R1, X)
+        locks.acquire(2, R2, X)
+        locks.acquire(3, R3, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(1, R2, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R3, X)
+        with pytest.raises(DeadlockError):
+            locks.acquire(3, R1, X)
+
+    def test_victim_edges_removed_after_deadlock(self, locks):
+        locks.acquire(1, R1, X)
+        locks.acquire(2, R2, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(1, R2, X)
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, R1, X)
+        # Victim (2) releases; 1 can proceed.
+        locks.release_all(2, 1.0)
+        locks.acquire(1, R2, X)
+
+    def test_chain_without_cycle_is_not_deadlock(self, locks):
+        locks.acquire(1, R1, X)
+        locks.acquire(2, R2, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R1, X)  # 2 -> 1
+        with pytest.raises(WouldBlock):
+            locks.acquire(3, R2, X)  # 3 -> 2 (chain, no cycle)
+        assert locks.deadlocks_detected == 0
+        assert locks.waiting_transactions() == {2, 3}
+
+    def test_shared_requests_do_not_deadlock_each_other(self, locks):
+        locks.acquire(1, R1, S)
+        locks.acquire(2, R2, S)
+        locks.acquire(1, R2, S)
+        locks.acquire(2, R1, S)  # all compatible
+        assert locks.deadlocks_detected == 0

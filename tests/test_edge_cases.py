@@ -1,0 +1,251 @@
+"""Edge cases across the facade: error paths, script execution,
+recovery failure modes, and less-travelled statement shapes."""
+
+import pytest
+
+from repro import MachineConfig, PrismaDB
+from repro.errors import (
+    BindError,
+    CatalogError,
+    PrismalogError,
+    RecoveryError,
+    TransactionError,
+)
+
+
+def make_db(**kwargs):
+    return PrismaDB(MachineConfig(n_nodes=8, disk_nodes=(0, 4)), **kwargs)
+
+
+class TestFacade:
+    def test_execute_script(self):
+        db = make_db()
+        results = db.execute_script(
+            """
+            CREATE TABLE t (a INT);
+            INSERT INTO t VALUES (1), (2);
+            SELECT COUNT(*) FROM t;
+            """
+        )
+        assert len(results) == 3
+        assert results[2].scalar() == 2
+
+    def test_simulated_time_advances(self):
+        db = make_db()
+        before = db.simulated_time()
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.simulated_time() > before
+
+    def test_quiesce_is_idempotent(self):
+        db = make_db()
+        first = db.quiesce()
+        assert db.quiesce() == first
+
+    def test_default_fragments_applied_with_pk(self):
+        db = make_db(default_fragments=4)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        assert len(db.catalog.table("t").fragments) == 4
+        # Without a primary key there is no hash column: single fragment.
+        db.execute("CREATE TABLE u (v INT)")
+        assert len(db.catalog.table("u").fragments) == 1
+
+    def test_unsupported_statement_kind(self):
+        from repro.sql import ast as sql_ast
+
+        db = make_db()
+
+        class Weird(sql_ast.Statement):
+            pass
+
+        with pytest.raises(TransactionError):
+            db.gdh.execute_statement(Weird(), db._default_session._state)
+
+    def test_explain_rejects_non_queries(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(BindError):
+            db.execute("EXPLAIN INSERT INTO t VALUES (1)")
+
+    def test_order_by_inside_setop_branch_rejected(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(Exception):
+            # The parser attaches trailing ORDER BY to the whole set op;
+            # forcing one inside a branch is not expressible, but LIMIT
+            # inside a branch via nested parse is — check the binder guard.
+            from repro.sql import ast as sql_ast
+            from repro.sql.binder import Binder
+
+            inner = sql_ast.SelectStmt(
+                items=[sql_ast.SelectItem(sql_ast.Name("a"))],
+                from_items=[sql_ast.TableRef("t")],
+                limit=1,
+            )
+            outer = sql_ast.SetOpStmt("union", inner, inner)
+            Binder(db.catalog.schemas()).bind_query(outer)
+
+
+class TestDdlEdges:
+    def test_drop_table_in_use_rejected(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        session = db.session()
+        session.begin()
+        session.execute("UPDATE t SET a = 2")
+        with pytest.raises(TransactionError):
+            db.execute("DROP TABLE t")
+        session.rollback()
+        db.execute("DROP TABLE t")
+
+    def test_index_on_unknown_column(self):
+        from repro.errors import StorageError
+
+        db = make_db()
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(StorageError):
+            db.execute("CREATE INDEX i ON t (nope)")
+
+    def test_create_index_backfills(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a INT) FRAGMENTED BY ROUNDROBIN INTO 2")
+        db.bulk_load("t", [(i,) for i in range(10)])
+        db.execute("CREATE INDEX i ON t (a)")
+        result = db.execute("SELECT COUNT(*) FROM t WHERE a = 3")
+        assert result.scalar() == 1
+        assert result.report.index_scans > 0
+
+
+class TestRecoveryEdges:
+    def test_restart_without_crash_is_consistent(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        report = db.restart()  # recovery from live state: same contents
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+        assert report.fragments_recovered == 1
+
+    def test_restart_detects_catalog_mismatch(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a INT)")
+        db.crash()
+        # Sneak an extra volatile table in: the durable dictionary no
+        # longer matches and restart must refuse.
+        from repro.core.catalog import TableInfo
+        from repro.core.fragmentation import SingleFragment
+        from repro.storage import DataType, Schema
+
+        db.catalog.create_table(
+            TableInfo("ghost", Schema.of(x=DataType.INT), SingleFragment())
+        )
+        with pytest.raises(RecoveryError):
+            db.restart()
+
+    def test_crash_aborts_open_transactions(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a INT)")
+        session = db.session()
+        session.begin()
+        session.execute("INSERT INTO t VALUES (1)")
+        report = db.crash()
+        assert report.aborted_transactions
+        db.restart()
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+class TestPrismalogEdges:
+    def test_mismatched_edb_tables_and_schemas(self):
+        from repro.prismalog import PrismalogEngine
+        from repro.storage import Column, DataType, Schema
+
+        with pytest.raises(PrismalogError):
+            PrismalogEngine(edb_tables={"p": []}, edb_schemas={})
+
+    def test_program_over_missing_table(self):
+        db = make_db()
+        with pytest.raises(PrismalogError):
+            db.execute_prismalog("q(X) :- nothing(X). ? q(X).")
+
+    def test_prismalog_respects_read_locks(self):
+        from repro.core.locks import WouldBlock
+
+        db = make_db()
+        db.execute("CREATE TABLE p (a INT, b INT)")
+        db.execute("INSERT INTO p VALUES (1, 2)")
+        writer = db.session()
+        writer.begin()
+        writer.execute("UPDATE p SET b = 3")
+        reader = db.session()
+        with pytest.raises(WouldBlock):
+            reader.execute_prismalog("q(X) :- p(X, Y). ? q(X).")
+        writer.commit()
+        (answer,) = reader.execute_prismalog("q(X) :- p(X, Y). ? q(X).")
+        assert answer.rows == [(1,)]
+
+    def test_empty_program_no_queries(self):
+        db = make_db()
+        db.execute("CREATE TABLE p (a INT)")
+        results = db.execute_prismalog("q(X) :- p(X).")
+        assert results == []
+
+
+class TestStatementFailureSemantics:
+    """A statement that fails mid-flight aborts its transaction and
+    releases its locks (statement atomicity via transaction abort)."""
+
+    @pytest.fixture
+    def db(self):
+        db = make_db()
+        db.execute(
+            "CREATE TABLE t (k INT PRIMARY KEY, v INT)"
+            " FRAGMENTED BY HASH(k) INTO 2"
+        )
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        return db
+
+    def test_duplicate_key_releases_locks(self, db):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            db.execute("INSERT INTO t VALUES (1, 99)")
+        # The failed autocommit transaction must not block the next one.
+        db.execute("INSERT INTO t VALUES (3, 30)")
+        assert db.table_row_count("t") == 3
+
+    def test_multi_row_insert_is_atomic(self, db):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            db.execute("INSERT INTO t VALUES (7, 70), (1, 99), (8, 80)")
+        # Neither the rows before nor after the duplicate survive.
+        assert db.table_row_count("t") == 2
+
+    def test_update_expression_error_aborts(self, db):
+        from repro.errors import PrismaError
+
+        with pytest.raises(PrismaError):
+            db.execute("UPDATE t SET v = v / 0")
+        assert sorted(db.query("SELECT v FROM t")) == [(10,), (20,)]
+        db.execute("UPDATE t SET v = v + 1")  # locks were released
+
+    def test_explicit_txn_aborted_by_failure(self, db):
+        from repro.errors import StorageError
+
+        session = db.session()
+        session.begin()
+        session.execute("UPDATE t SET v = 0 WHERE k = 2")
+        with pytest.raises(StorageError):
+            session.execute("INSERT INTO t VALUES (1, 99)")
+        assert not session.in_transaction
+        # The earlier update in the same transaction was rolled back too.
+        assert db.query("SELECT v FROM t WHERE k = 2") == [(20,)]
+
+    def test_select_division_by_zero_releases_locks(self, db):
+        from repro.errors import PrismaError
+
+        with pytest.raises(PrismaError):
+            db.execute("SELECT 1 FROM t WHERE v / 0 > 1")
+        # Reads and writes still work afterwards.
+        db.execute("DELETE FROM t WHERE k = 1")
+        assert db.table_row_count("t") == 1

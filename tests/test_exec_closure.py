@@ -1,0 +1,147 @@
+"""Tests for the transitive-closure operator and fixpoint driver (E6)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.closure import (
+    naive_closure,
+    reachable_from,
+    seminaive_closure,
+    seminaive_fixpoint,
+    smart_closure,
+)
+from repro.exec.operators import WorkMeter
+
+ALGORITHMS = [naive_closure, seminaive_closure, smart_closure]
+
+
+def chain(n):
+    return [(i, i + 1) for i in range(n)]
+
+
+def expected_closure(edges):
+    graph = nx.DiGraph(edges)
+    return sorted(nx.transitive_closure(graph).edges())
+
+
+class TestClosureCorrectness:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_chain(self, algorithm):
+        result = algorithm(chain(8), WorkMeter())
+        assert result.rows == expected_closure(chain(8))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_cycle(self, algorithm):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        result = algorithm(edges, WorkMeter())
+        assert result.rows == sorted((a, b) for a in range(3) for b in range(3))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_empty(self, algorithm):
+        assert algorithm([], WorkMeter()).rows == []
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_dag_with_shared_substructure(self, algorithm):
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]
+        assert algorithm(edges, WorkMeter()).rows == expected_closure(edges)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_duplicate_edges_tolerated(self, algorithm):
+        edges = [(0, 1), (0, 1), (1, 2)]
+        assert algorithm(edges, WorkMeter()).rows == [(0, 1), (0, 2), (1, 2)]
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_string_nodes(self, algorithm):
+        edges = [("a", "b"), ("b", "c")]
+        assert algorithm(edges, WorkMeter()).rows == [
+            ("a", "b"), ("a", "c"), ("b", "c"),
+        ]
+
+
+class TestIterationCounts:
+    def test_smart_uses_logarithmically_fewer_rounds(self):
+        edges = chain(64)
+        semi = seminaive_closure(edges, WorkMeter())
+        smart = smart_closure(edges, WorkMeter())
+        assert semi.iterations >= 64
+        assert smart.iterations <= 8  # ~log2(64) + 1
+
+    def test_seminaive_does_less_work_than_naive(self):
+        edges = chain(48)
+        naive_meter, semi_meter = WorkMeter(), WorkMeter()
+        naive_closure(edges, naive_meter)
+        seminaive_closure(edges, semi_meter)
+        assert semi_meter.tuples < naive_meter.tuples / 2
+
+
+class TestReachableFrom:
+    def test_single_source(self):
+        edges = [(0, 1), (1, 2), (3, 4)]
+        result = reachable_from(edges, [0], WorkMeter())
+        assert result.rows == [1, 2]
+
+    def test_multiple_sources(self):
+        edges = [(0, 1), (2, 3)]
+        assert reachable_from(edges, [0, 2], WorkMeter()).rows == [1, 3]
+
+    def test_cycle_terminates(self):
+        edges = [(0, 1), (1, 0)]
+        assert reachable_from(edges, [0], WorkMeter()).rows == [0, 1]
+
+    def test_matches_full_closure_selection(self):
+        edges = [(0, 1), (0, 2), (1, 3), (2, 4), (4, 0)]
+        full = seminaive_closure(edges, WorkMeter())
+        from_zero = sorted(b for a, b in full.rows if a == 0)
+        assert reachable_from(edges, [0], WorkMeter()).rows == from_zero
+
+
+class TestGenericFixpoint:
+    def test_same_generation_program(self):
+        """sg(X,Y) :- flat(X,Y).  sg(X,Y) :- up(X,A), sg(A,B), down(B,Y)."""
+        up = {(1, 3), (2, 3)}
+        flat = {(3, 3)}
+        down = {(3, 4), (3, 5)}
+
+        def step(total, delta):
+            for a, b in delta:
+                for x, a2 in up:
+                    if a2 == a:
+                        for b2, y in down:
+                            if b2 == b:
+                                yield (x, y)
+
+        result = seminaive_fixpoint(flat, step, WorkMeter())
+        assert set(result.rows) == {(3, 3), (1, 4), (1, 5), (2, 4), (2, 5)}
+
+    def test_divergent_step_hits_iteration_bound(self):
+        from repro.errors import ExecutionError
+
+        def runaway(total, delta):
+            return [(max(r[0] for r in delta) + 1,)]
+
+        with pytest.raises(ExecutionError):
+            seminaive_fixpoint([(0,)], runaway, WorkMeter(), max_iterations=50)
+
+    def test_empty_initial_set(self):
+        result = seminaive_fixpoint([], lambda t, d: [], WorkMeter())
+        assert result.rows == []
+        assert result.iterations == 0
+
+
+# ---------------------------------------------------------------------------
+# Property: all three algorithms agree with networkx on random graphs.
+# ---------------------------------------------------------------------------
+
+_edges = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    max_size=30,
+)
+
+
+@given(edges=_edges)
+@settings(max_examples=80, deadline=None)
+def test_property_closures_agree_with_networkx(edges):
+    expected = expected_closure(edges)
+    for algorithm in ALGORITHMS:
+        assert algorithm(edges, WorkMeter()).rows == expected

@@ -1,0 +1,118 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.events import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(3.0, lambda: fired.append("c"))
+    loop.schedule_at(1.0, lambda: fired.append("a"))
+    loop.schedule_at(2.0, lambda: fired.append("b"))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+    assert loop.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    loop = EventLoop()
+    fired = []
+    for label in "abc":
+        loop.schedule_at(1.0, lambda label=label: fired.append(label))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_schedule_relative_delay():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(0.5, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [0.5]
+
+
+def test_events_can_schedule_events():
+    loop = EventLoop()
+    fired = []
+
+    def first():
+        fired.append(("first", loop.now))
+        loop.schedule(1.0, lambda: fired.append(("second", loop.now)))
+
+    loop.schedule_at(1.0, first)
+    loop.run()
+    assert fired == [("first", 1.0), ("second", 2.0)]
+
+
+def test_run_until_stops_and_advances_clock():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(1.0, lambda: fired.append(1))
+    loop.schedule_at(5.0, lambda: fired.append(5))
+    count = loop.run(until=2.0)
+    assert count == 1
+    assert fired == [1]
+    assert loop.now == 2.0
+    # The late event is still pending and fires on the next run.
+    loop.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    loop = EventLoop()
+    loop.run(until=7.0)
+    assert loop.now == 7.0
+
+
+def test_max_events_bounds_execution():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        loop.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+    loop.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_cancelled_events_do_not_fire():
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule_at(1.0, lambda: fired.append("cancelled"))
+    loop.schedule_at(2.0, lambda: fired.append("kept"))
+    handle.cancel()
+    assert handle.cancelled
+    loop.run()
+    assert fired == ["kept"]
+
+
+def test_pending_counts_only_live_events():
+    loop = EventLoop()
+    handle = loop.schedule_at(1.0, lambda: None)
+    loop.schedule_at(2.0, lambda: None)
+    assert loop.pending == 2
+    handle.cancel()
+    assert loop.pending == 1
+
+
+def test_scheduling_in_the_past_is_rejected():
+    loop = EventLoop()
+    loop.schedule_at(5.0, lambda: None)
+    loop.run()
+    with pytest.raises(MachineError):
+        loop.schedule_at(1.0, lambda: None)
+    with pytest.raises(MachineError):
+        loop.schedule(-0.1, lambda: None)
+
+
+def test_step_fires_single_event():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(1.0, lambda: fired.append("a"))
+    loop.schedule_at(2.0, lambda: fired.append("b"))
+    assert loop.step() is True
+    assert fired == ["a"]
+    assert loop.step() is True
+    assert loop.step() is False
+    assert fired == ["a", "b"]

@@ -1,0 +1,242 @@
+"""Tests for SQL name resolution and plan construction."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.sql import Binder, parse_statement
+from repro.algebra.local_exec import LocalExecutor
+from repro.algebra.plan import (
+    AggregateNode,
+    ClosureNode,
+    DistinctNode,
+    LimitNode,
+    SortNode,
+)
+from repro.storage import DataType, Schema
+
+CATALOG = {
+    "emp": Schema.of(id=DataType.INT, name=DataType.STRING, dept=DataType.STRING, sal=DataType.FLOAT),
+    "dept": Schema.of(dname=DataType.STRING, city=DataType.STRING),
+    "edge": Schema.of(src=DataType.INT, dst=DataType.INT),
+}
+
+TABLES = {
+    "emp": [
+        (1, "ada", "eng", 120.0), (2, "bob", "eng", 95.0),
+        (3, "cy", "sales", 80.0), (4, "dee", "sales", 85.0),
+        (5, "eve", "hr", 70.0),
+    ],
+    "dept": [("eng", "ams"), ("sales", "rtm"), ("hr", "utr")],
+    "edge": [(1, 2), (2, 3), (3, 4)],
+}
+
+
+@pytest.fixture
+def binder():
+    return Binder(CATALOG)
+
+
+def bind_run(binder, sql):
+    plan = binder.bind_query(parse_statement(sql))
+    return plan, LocalExecutor(TABLES).run(plan)
+
+
+class TestNameResolution:
+    def test_unknown_table(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(parse_statement("SELECT x FROM nope"))
+
+    def test_unknown_column(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(parse_statement("SELECT bogus FROM emp"))
+
+    def test_ambiguous_column(self, binder):
+        with pytest.raises(BindError) as info:
+            binder.bind_query(
+                parse_statement("SELECT dname FROM dept d1, dept d2")
+            )
+        assert "ambiguous" in str(info.value)
+
+    def test_qualified_resolution(self, binder):
+        plan, rows = bind_run(
+            binder,
+            "SELECT d1.city FROM dept d1, dept d2 WHERE d1.dname = d2.dname AND d2.city = 'ams'",
+        )
+        assert rows == [("ams",)]
+
+    def test_duplicate_alias_rejected(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(parse_statement("SELECT 1 FROM emp e, dept e"))
+
+    def test_star_expansion(self, binder):
+        plan, _ = bind_run(binder, "SELECT * FROM emp")
+        assert plan.schema.names() == ["id", "name", "dept", "sal"]
+
+    def test_qualified_star(self, binder):
+        plan, _ = bind_run(
+            binder, "SELECT d.* FROM emp e JOIN dept d ON e.dept = d.dname"
+        )
+        assert plan.schema.names() == ["dname", "city"]
+
+    def test_unknown_star_qualifier(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(parse_statement("SELECT z.* FROM emp e"))
+
+
+class TestQueries:
+    def test_join_where_order(self, binder):
+        _, rows = bind_run(
+            binder,
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.dname"
+            " WHERE d.city = 'rtm' ORDER BY name",
+        )
+        assert rows == [("cy",), ("dee",)]
+
+    def test_left_join_pads_nulls(self, binder):
+        _, rows = bind_run(
+            binder,
+            "SELECT d.dname, e.name FROM dept d LEFT JOIN emp e"
+            " ON d.dname = e.dept AND e.sal > 100 ORDER BY dname, 2",
+        )
+        assert ("hr", None) in rows
+        assert ("eng", "ada") in rows
+
+    def test_closure(self, binder):
+        _, rows = bind_run(
+            binder, "SELECT dst FROM CLOSURE(edge) WHERE src = 1 ORDER BY dst"
+        )
+        assert rows == [(2,), (3,), (4,)]
+
+    def test_closure_requires_binary(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(parse_statement("SELECT * FROM CLOSURE(emp)"))
+
+    def test_distinct_and_limit(self, binder):
+        plan, rows = bind_run(
+            binder, "SELECT DISTINCT dept FROM emp ORDER BY dept LIMIT 2"
+        )
+        assert isinstance(plan, LimitNode)
+        assert rows == [("eng",), ("hr",)]
+        assert any(isinstance(n, DistinctNode) for n in plan.walk())
+
+    def test_order_by_position(self, binder):
+        _, rows = bind_run(binder, "SELECT name, sal FROM emp ORDER BY 2 DESC LIMIT 1")
+        assert rows == [("ada", 120.0)]
+
+    def test_order_by_unknown_column(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(
+                parse_statement("SELECT name FROM emp ORDER BY salary_typo")
+            )
+
+    def test_order_by_position_out_of_range(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(parse_statement("SELECT name FROM emp ORDER BY 5"))
+
+    def test_select_without_from(self, binder):
+        _, rows = bind_run(binder, "SELECT 2 + 3 AS five")
+        assert rows == [(5,)]
+
+    def test_set_operation(self, binder):
+        _, rows = bind_run(
+            binder,
+            "SELECT dept FROM emp WHERE sal > 100"
+            " UNION SELECT dname FROM dept WHERE city = 'utr' ORDER BY 1",
+        )
+        assert rows == [("eng",), ("hr",)]
+
+    def test_set_operation_arity_mismatch(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(
+                parse_statement("SELECT id, name FROM emp UNION SELECT dname FROM dept")
+            )
+
+
+class TestAggregation:
+    def test_group_by_with_having(self, binder):
+        plan, rows = bind_run(
+            binder,
+            "SELECT dept, COUNT(*) AS n, AVG(sal) FROM emp"
+            " GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept",
+        )
+        assert rows == [("eng", 2, 107.5), ("sales", 2, 82.5)]
+        assert any(isinstance(n, AggregateNode) for n in plan.walk())
+
+    def test_aggregate_arithmetic_in_select(self, binder):
+        _, rows = bind_run(binder, "SELECT SUM(sal) / COUNT(*) FROM emp")
+        assert rows == [(90.0,)]
+
+    def test_group_expression(self, binder):
+        _, rows = bind_run(
+            binder,
+            "SELECT sal > 90, COUNT(*) FROM emp GROUP BY sal > 90 ORDER BY 1",
+        )
+        assert rows == [(False, 3), (True, 2)]
+
+    def test_non_grouped_column_rejected(self, binder):
+        with pytest.raises(BindError) as info:
+            binder.bind_query(
+                parse_statement("SELECT name, COUNT(*) FROM emp GROUP BY dept")
+            )
+        assert "GROUP BY" in str(info.value)
+
+    def test_nested_aggregates_rejected(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(parse_statement("SELECT SUM(COUNT(*)) FROM emp"))
+
+    def test_aggregate_in_where_rejected(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(
+                parse_statement("SELECT dept FROM emp WHERE COUNT(*) > 1")
+            )
+
+    def test_duplicate_aggregates_computed_once(self, binder):
+        plan, rows = bind_run(
+            binder, "SELECT COUNT(*), COUNT(*) + 1 FROM emp"
+        )
+        agg = next(n for n in plan.walk() if isinstance(n, AggregateNode))
+        assert len(agg.aggregates) == 1
+        assert rows == [(5, 6)]
+
+    def test_star_with_group_by_rejected(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_query(parse_statement("SELECT * FROM emp GROUP BY dept"))
+
+
+class TestDmlBinding:
+    def test_insert_columns_reordered_and_defaulted(self, binder):
+        bound = binder.bind_insert(
+            parse_statement("INSERT INTO emp (sal, id) VALUES (50.0, 9)")
+        )
+        assert bound.rows == [(9, None, None, 50.0)]
+
+    def test_insert_arity_mismatch(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_insert(parse_statement("INSERT INTO dept VALUES ('x')"))
+
+    def test_insert_non_constant_rejected(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_insert(parse_statement("INSERT INTO dept VALUES (dname, 'x')"))
+
+    def test_insert_constant_expression_evaluated(self, binder):
+        bound = binder.bind_insert(
+            parse_statement("INSERT INTO edge VALUES (1 + 1, 2 * 3)")
+        )
+        assert bound.rows == [(2, 6)]
+
+    def test_update_binding(self, binder):
+        bound = binder.bind_update(
+            parse_statement("UPDATE emp SET sal = sal * 1.1 WHERE dept = 'eng'")
+        )
+        assert bound.assignments[0][0] == 3
+        assert bound.predicate is not None
+
+    def test_update_duplicate_assignment(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_update(
+                parse_statement("UPDATE emp SET sal = 1.0, sal = 2.0")
+            )
+
+    def test_delete_binding(self, binder):
+        bound = binder.bind_delete(parse_statement("DELETE FROM emp"))
+        assert bound.predicate is None

@@ -1,0 +1,228 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse_script, parse_statement
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt FROM where")
+        assert [t.type for t in tokens[:-1]] == [TokenType.KEYWORD] * 3
+        assert [t.value for t in tokens[:-1]] == ["select", "from", "where"]
+
+    def test_identifiers_folded_lower(self):
+        tokens = tokenize("Employees")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "employees"
+
+    def test_quoted_identifier_preserves_case(self):
+        tokens = tokenize('"MiXeD"')
+        assert tokens[0].value == "MiXeD"
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 1e3 1.5e-2 .75")[:-1]]
+        assert values == [1, 2.5, 1000.0, 0.015, 0.75]
+
+    def test_dot_disambiguation(self):
+        tokens = tokenize("t.col")
+        assert [t.value for t in tokens[:-1]] == ["t", ".", "col"]
+
+    def test_string_escaping(self):
+        tokens = tokenize("'o''brien'")
+        assert tokens[0].value == "o'brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_comment_skipped(self):
+        tokens = tokenize("select -- everything\n1")
+        assert [t.value for t in tokens[:-1]] == ["select", 1]
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("<> != <= >= < > = ( ) , ;")[:-1]]
+        assert values == ["<>", "<>", "<=", ">=", "<", ">", "=", "(", ")", ",", ";"]
+
+    def test_position_tracking(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("select\n  @")
+        assert "line 2" in str(info.value)
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a, b FROM t WHERE a > 1")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert len(stmt.items) == 2
+        assert stmt.from_items[0].name == "t"
+        assert isinstance(stmt.where, ast.Bin)
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_statement("SELECT *, t.* FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[1].expr.qualifier == "t"
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t emp")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_items[0].alias == "emp"
+
+    def test_joins(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+            " CROSS JOIN d"
+        )
+        assert [j.kind for j in stmt.joins] == ["inner", "left", "cross"]
+        assert stmt.joins[2].condition is None
+
+    def test_closure_in_from(self):
+        stmt = parse_statement("SELECT * FROM CLOSURE(edges) AS tc WHERE src = 1")
+        assert isinstance(stmt.from_items[0], ast.ClosureRef)
+        assert stmt.from_items[0].alias == "tc"
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        agg = stmt.items[1].expr
+        assert isinstance(agg, ast.AggCall)
+        assert agg.func == "count" and agg.arg is None
+
+    def test_distinct_aggregate(self):
+        stmt = parse_statement("SELECT COUNT(DISTINCT dept) FROM emp")
+        assert stmt.items[0].expr.distinct
+
+    def test_order_limit_offset(self):
+        stmt = parse_statement("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert stmt.order_by[0][1] is True
+        assert stmt.order_by[1][1] is False
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_set_operations_chain(self):
+        stmt = parse_statement("SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v")
+        assert isinstance(stmt, ast.SetOpStmt)
+        assert stmt.op == "union_all"
+        assert isinstance(stmt.left, ast.SetOpStmt)
+        assert stmt.left.op == "union"
+
+    def test_expression_precedence(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a + 2 * b > 1 AND c = 1 OR d = 2")
+        # OR at top
+        assert stmt.where.op == "or"
+        left = stmt.where.left
+        assert left.op == "and"
+        comparison = left.left
+        assert comparison.op == ">"
+        addition = comparison.left
+        assert addition.op == "+"
+        assert addition.right.op == "*"
+
+    def test_between_in_like_not(self):
+        stmt = parse_statement(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b NOT IN (1, 2)"
+            " AND c LIKE 'x%' AND d IS NOT NULL"
+        )
+        text_types = set()
+
+        def walk(e):
+            text_types.add(type(e).__name__)
+            for child in (getattr(e, "left", None), getattr(e, "right", None),
+                          getattr(e, "operand", None)):
+                if child is not None:
+                    walk(child)
+
+        walk(stmt.where)
+        assert {"BetweenExpr", "InExpr", "LikeExpr", "IsNullExpr"} <= text_types
+
+    def test_no_from(self):
+        stmt = parse_statement("SELECT 1 + 1")
+        assert stmt.from_items == []
+
+
+class TestOtherStatements:
+    def test_create_table_full(self):
+        stmt = parse_statement(
+            "CREATE TABLE emp (id INT PRIMARY KEY, name VARCHAR(32) NOT NULL,"
+            " sal FLOAT) FRAGMENTED BY HASH(id) INTO 8 WITH 2 REPLICAS"
+        )
+        assert isinstance(stmt, ast.CreateTableStmt)
+        assert stmt.columns[0].primary_key and stmt.columns[0].not_null
+        assert stmt.columns[1].not_null and not stmt.columns[1].primary_key
+        assert stmt.fragmentation.kind == "hash"
+        assert stmt.fragmentation.count == 8
+        assert stmt.replicas == 2
+
+    def test_create_table_range(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INT) FRAGMENTED BY RANGE(a) VALUES (10, 20, 30)"
+        )
+        assert stmt.fragmentation.kind == "range"
+        assert stmt.fragmentation.boundaries == (10, 20, 30)
+        assert stmt.fragmentation.count == 4
+
+    def test_create_table_roundrobin(self):
+        stmt = parse_statement("CREATE TABLE t (a INT) FRAGMENTED BY ROUNDROBIN INTO 4")
+        assert stmt.fragmentation.kind == "roundrobin"
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE UNIQUE INDEX i ON t (a, b) USING BTREE")
+        assert stmt.unique and stmt.method == "btree"
+        assert stmt.columns == ["a", "b"]
+
+    def test_insert_multi_row_with_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE a < 5")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.DeleteStmt)
+
+    def test_transaction_control(self):
+        assert isinstance(parse_statement("BEGIN WORK"), ast.BeginStmt)
+        assert isinstance(parse_statement("COMMIT"), ast.CommitStmt)
+        assert isinstance(parse_statement("ROLLBACK"), ast.RollbackStmt)
+        assert isinstance(parse_statement("ABORT"), ast.RollbackStmt)
+
+    def test_explain_show_checkpoint(self):
+        assert isinstance(parse_statement("EXPLAIN SELECT 1"), ast.ExplainStmt)
+        assert isinstance(parse_statement("SHOW TABLES"), ast.ShowTablesStmt)
+        assert isinstance(parse_statement("CHECKPOINT"), ast.CheckpointStmt)
+
+    def test_script_parsing(self):
+        statements = parse_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;"
+        )
+        assert len(statements) == 3
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 FROM t garbage extra ,")
+
+    def test_helpful_error_positions(self):
+        with pytest.raises(ParseError) as info:
+            parse_statement("SELECT FROM t")
+        message = str(info.value)
+        assert "expression" in message
+        assert "column 8" in message
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT sqrt(x) FROM t")
+
+    def test_count_star_only_for_count(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT SUM(*) FROM t")

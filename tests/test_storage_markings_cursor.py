@@ -1,0 +1,142 @@
+"""Tests for markings and cursors (OFM features, paper Section 2.5)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import Cursor, DataType, Marking, MarkingSet, Schema, Table
+
+
+@pytest.fixture
+def table():
+    t = Table("t", Schema.of(id=DataType.INT, grp=DataType.STRING))
+    t.insert_many([(i, "even" if i % 2 == 0 else "odd") for i in range(6)])
+    return t
+
+
+class TestMarkings:
+    def test_mark_where(self, table):
+        markings = MarkingSet(table)
+        evens = markings.mark_where("evens", lambda row: row[1] == "even")
+        assert len(evens) == 3
+        assert [row for _, row in evens.rows()] == [
+            (0, "even"), (2, "even"), (4, "even"),
+        ]
+
+    def test_set_algebra(self, table):
+        markings = MarkingSet(table)
+        evens = markings.mark_where("evens", lambda r: r[1] == "even")
+        small = markings.mark_where("small", lambda r: r[0] < 3)
+        both = evens.intersect(small, "both")
+        assert sorted(both.rids()) == [0, 2]
+        either = evens.union(small, "either")
+        assert sorted(either.rids()) == [0, 1, 2, 4]
+        only_even = evens.difference(small, "only_even")
+        assert sorted(only_even.rids()) == [4]
+        complement = evens.complement("odds")
+        assert sorted(complement.rids()) == [1, 3, 5]
+
+    def test_markings_survive_deletion(self, table):
+        markings = MarkingSet(table)
+        evens = markings.mark_where("evens", lambda r: r[1] == "even")
+        table.delete(2)
+        assert sorted(evens.rids()) == [0, 4]
+        assert 2 not in evens
+
+    def test_cross_table_algebra_rejected(self, table):
+        other = Table("u", table.schema)
+        other.insert((1, "x"))
+        m1 = Marking("a", table, [0])
+        m2 = Marking("b", other, [0])
+        with pytest.raises(StorageError):
+            m1.union(m2, "c")
+
+    def test_marking_set_management(self, table):
+        markings = MarkingSet(table)
+        markings.create("m", [0, 1])
+        assert markings.names() == ["m"]
+        assert len(markings.get("m")) == 2
+        with pytest.raises(StorageError):
+            markings.create("m")
+        markings.drop("m")
+        with pytest.raises(StorageError):
+            markings.get("m")
+
+    def test_store_external_marking(self, table):
+        markings = MarkingSet(table)
+        a = markings.create("a", [0])
+        b = markings.create("b", [2])
+        union = a.union(b, "u")
+        markings.store(union)
+        assert sorted(markings.get("u").rids()) == [0, 2]
+
+
+class TestCursor:
+    def test_full_scan(self, table):
+        cursor = Cursor(table)
+        fetched = list(cursor)
+        assert len(fetched) == 6
+        assert cursor.fetch() is None
+
+    def test_fetch_many(self, table):
+        cursor = Cursor(table)
+        batch = cursor.fetch_many(4)
+        assert [rid for rid, _ in batch] == [0, 1, 2, 3]
+        rest = cursor.fetch_many(100)
+        assert [rid for rid, _ in rest] == [4, 5]
+
+    def test_predicate_filter(self, table):
+        cursor = Cursor(table, predicate=lambda row: row[1] == "odd")
+        assert [rid for rid, _ in cursor] == [1, 3, 5]
+
+    def test_marking_restriction(self, table):
+        marking = Marking("m", table, [1, 4])
+        cursor = Cursor(table, marking=marking)
+        assert [rid for rid, _ in cursor] == [1, 4]
+
+    def test_rows_deleted_mid_scan_are_skipped(self, table):
+        cursor = Cursor(table)
+        cursor.fetch()  # rid 0
+        table.delete(3)
+        remaining = [rid for rid, _ in cursor]
+        assert remaining == [1, 2, 4, 5]
+
+    def test_rows_inserted_behind_cursor_not_revisited(self, table):
+        cursor = Cursor(table)
+        fetched = [cursor.fetch()[0] for _ in range(6)]
+        table.insert((99, "late"))
+        assert cursor.fetch() == (6, (99, "late"))
+        assert fetched == [0, 1, 2, 3, 4, 5]
+
+    def test_never_yields_same_rid_twice(self, table):
+        cursor = Cursor(table)
+        seen = set()
+        while True:
+            item = cursor.fetch()
+            if item is None:
+                break
+            assert item[0] not in seen
+            seen.add(item[0])
+
+    def test_rewind(self, table):
+        cursor = Cursor(table)
+        cursor.fetch_many(3)
+        cursor.rewind()
+        assert cursor.fetch()[0] == 0
+
+    def test_close(self, table):
+        cursor = Cursor(table)
+        cursor.close()
+        assert cursor.closed
+        with pytest.raises(StorageError):
+            cursor.fetch()
+        with pytest.raises(StorageError):
+            cursor.rewind()
+
+    def test_negative_fetch_count_rejected(self, table):
+        with pytest.raises(StorageError):
+            Cursor(table).fetch_many(-1)
+
+    def test_cursor_marking_table_mismatch(self, table):
+        other = Table("u", table.schema)
+        with pytest.raises(StorageError):
+            Cursor(table, marking=Marking("m", other))

@@ -1,0 +1,176 @@
+"""Tests for the workload generators and the interleaved driver (E8)."""
+
+import pytest
+
+from repro import MachineConfig, PrismaDB
+from repro.core.workload import InterleavedDriver, transactions_from_transfers
+from repro.workloads import (
+    binary_tree,
+    chain,
+    generate_rows,
+    generate_transfers,
+    genealogy,
+    load_edges,
+    load_wisconsin,
+    parts_explosion,
+    random_dag,
+    setup_bank,
+    total_balance,
+)
+
+
+def small_db():
+    return PrismaDB(MachineConfig(n_nodes=8, disk_nodes=(0, 4)))
+
+
+class TestWisconsin:
+    def test_row_shape_and_determinism(self):
+        rows = list(generate_rows(200, seed=1))
+        assert len(rows) == 200
+        assert rows == list(generate_rows(200, seed=1))
+        assert rows != list(generate_rows(200, seed=2))
+
+    def test_column_invariants(self):
+        for row in generate_rows(100):
+            unique1, unique2 = row[0], row[1]
+            assert row[2] == unique1 % 2
+            assert row[6] == unique1 % 100
+            assert row[10] == unique1
+            assert len(row[13]) == 7
+
+    def test_unique_columns_are_permutations(self):
+        rows = list(generate_rows(50))
+        assert sorted(row[0] for row in rows) == list(range(50))
+        assert [row[1] for row in rows] == list(range(50))
+
+    def test_load_into_db(self):
+        db = small_db()
+        loaded = load_wisconsin(db, "wisc", 100, fragments=4)
+        assert loaded == 100
+        assert db.execute("SELECT COUNT(*) FROM wisc").scalar() == 100
+        # The classic 1% selection selects ~1%.
+        assert db.execute(
+            "SELECT COUNT(*) FROM wisc WHERE onepercent = 0"
+        ).scalar() == 1
+
+
+class TestGraphGenerators:
+    def test_chain(self):
+        assert chain(3) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_binary_tree_edges(self):
+        edges = binary_tree(3)
+        children = {}
+        for parent, child in edges:
+            children.setdefault(parent, []).append(child)
+        assert children[1] == [2, 3]
+        assert len(edges) == 2**4 - 2  # nodes minus root
+
+    def test_random_dag_acyclic(self):
+        edges = random_dag(20, 40, seed=5)
+        assert all(a < b for a, b in edges)
+        assert edges == random_dag(20, 40, seed=5)
+
+    def test_parts_explosion_depth(self):
+        triples = parts_explosion(2, fanout=2, depth=3)
+        parents = {a for a, _, _ in triples}
+        assert "product_0" in parents
+        assert all(quantity >= 1 for _, _, quantity in triples)
+        assert len(triples) == 2 * (2 + 4 + 8)
+
+    def test_genealogy_links_generations(self):
+        pairs, people = genealogy(3, 2, seed=1)
+        assert set(people) == {0, 1, 2}
+        children = {child for _, child in pairs}
+        assert children.issuperset(set(people[1]))
+
+    def test_load_edges(self):
+        db = small_db()
+        load_edges(db, "e", chain(5), fragments=2)
+        assert db.execute("SELECT COUNT(*) FROM e").scalar() == 5
+
+
+class TestBankingDriver:
+    def test_transfers_preserve_total_balance(self):
+        db = small_db()
+        setup_bank(db, n_accounts=32, fragments=4)
+        before = total_balance(db)
+        transfers = generate_transfers(10, 32, seed=1)
+        driver = InterleavedDriver(db)
+        report = driver.run(
+            [transactions_from_transfers(transfers[:5]),
+             transactions_from_transfers(transfers[5:])]
+        )
+        assert report.transactions_committed == 10
+        assert total_balance(db) == pytest.approx(before)
+
+    def test_contention_produces_waits(self):
+        db = small_db()
+        setup_bank(db, n_accounts=16, fragments=4)
+        hot = generate_transfers(6, 16, seed=2, hot_fraction=1.0, hot_accounts=2)
+        scripts = [
+            transactions_from_transfers(hot[:3]),
+            transactions_from_transfers(hot[3:]),
+        ]
+        report = InterleavedDriver(db).run(scripts)
+        assert report.transactions_committed == 6
+        assert report.lock_waits + report.deadlocks > 0
+
+    def test_disjoint_clients_dont_wait(self):
+        db = small_db()
+        setup_bank(db, n_accounts=4, fragments=4)
+        # Each client only touches its own account pair -> no conflicts.
+        scripts = [
+            [[f"UPDATE account SET balance = balance - 1 WHERE id = {i}",
+              f"UPDATE account SET balance = balance + 1 WHERE id = {i}"]]
+            for i in range(4)
+        ]
+        report = InterleavedDriver(db).run(scripts)
+        assert report.transactions_committed == 4
+        assert report.deadlocks == 0
+
+    def test_parallel_clients_beat_serial_on_disjoint_data(self):
+        """The paper's claim: parallelism except on shared fragments."""
+
+        def run_clients(n_clients, per_client):
+            db = small_db()
+            setup_bank(db, n_accounts=64, fragments=4)
+            scripts = []
+            for client in range(n_clients):
+                base = client * 8
+                txns = []
+                for t in range(per_client):
+                    txns.append([
+                        f"UPDATE account SET balance = balance - 1 WHERE id = {base + t % 8}",
+                    ])
+                scripts.append(txns)
+            return InterleavedDriver(db).run(scripts)
+
+        serial = run_clients(1, 8)
+        parallel = run_clients(4, 2)
+        assert serial.transactions_committed == parallel.transactions_committed == 8
+        assert parallel.makespan_s < serial.makespan_s
+
+    def test_deadlock_retry_completes_workload(self):
+        db = small_db()
+        setup_bank(db, n_accounts=4, fragments=4)
+        # Opposite-order transfers: classic deadlock shape.
+        scripts = [
+            [["UPDATE account SET balance = balance - 1 WHERE id = 0",
+              "UPDATE account SET balance = balance + 1 WHERE id = 1"]],
+            [["UPDATE account SET balance = balance - 1 WHERE id = 1",
+              "UPDATE account SET balance = balance + 1 WHERE id = 0"]],
+        ]
+        report = InterleavedDriver(db).run(scripts)
+        assert report.transactions_committed == 2
+        assert total_balance(db) == pytest.approx(400.0)
+
+    def test_crash_after_driver_keeps_committed_transfers(self):
+        db = small_db()
+        setup_bank(db, n_accounts=16, fragments=2)
+        transfers = generate_transfers(4, 16, seed=3)
+        InterleavedDriver(db).run([transactions_from_transfers(transfers)])
+        expected = total_balance(db)
+        db.crash()
+        db.restart()
+        assert total_balance(db) == pytest.approx(expected)
