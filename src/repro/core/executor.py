@@ -209,7 +209,9 @@ class DistributedExecutor:
         if process.name in self._dispatched or process is self._query_process:
             return
         self._dispatched.add(process.name)
-        self.runtime.send(self._query_process, process, SUBPLAN_BYTES)
+        # Marshalling CPU is SEND_OVERHEAD_S inside send(); the plan-build
+        # CPU was charged by the GDH front-end (_charge_frontend).
+        self.runtime.send(self._query_process, process, SUBPLAN_BYTES)  # prismalint: disable=PL004 -- charged in GDH front-end
 
     def _run_local(
         self,
@@ -247,7 +249,8 @@ class DistributedExecutor:
         """Move rows between processes (no-op co-located, still a message)."""
         self._dispatch(target)
         n_bytes = self._row_bytes(schema, rows)
-        self.runtime.send(source.process, target, n_bytes)
+        # The CPU that produced these rows is charged in _run_local.
+        self.runtime.send(source.process, target, n_bytes)  # prismalint: disable=PL004 -- charged in _run_local
 
     def _gather(self, relation: DistRelation, target: PoolProcess, schema: Schema | None = None) -> DistRelation:
         """Collect every part at *target* (the fan-in of a query)."""

@@ -842,7 +842,9 @@ class GlobalDataHandler:
             routed.setdefault(info.scheme.fragment_of(validated), []).append(validated)
         for fragment_id, fragment_rows in routed.items():
             for ofm in self.fragment_copies(info, fragment_id):
-                self.runtime.send(
+                # Loader CPU is charged inside ofm.bulk_load (per-tuple
+                # meter + WAL checkpoint cost).
+                self.runtime.send(  # prismalint: disable=PL004 -- charged in ofm.bulk_load
                     self.gdh_process, ofm, _rows_bytes(fragment_rows)
                 )
                 ofm.bulk_load(fragment_rows)

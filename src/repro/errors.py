@@ -119,5 +119,14 @@ class TopologyError(MachineError):
     """An interconnect topology violates its structural constraints."""
 
 
+class MessageOwnershipError(MachineError):
+    """A message payload was mutated between send and delivery.
+
+    Raised only when the message-ownership sanitizer is enabled
+    (``PoolRuntime(sanitize=True)`` or ``REPRO_SANITIZE=1``); names the
+    sender, the receiver, and the first mutated path inside the payload.
+    """
+
+
 class RecoveryError(PrismaError):
     """Log corruption or an impossible state during restart recovery."""

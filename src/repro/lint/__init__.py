@@ -1,0 +1,47 @@
+"""prismalint: AST-based invariant checker for the simulated machine.
+
+The paper's POOL-X model (Section 3.1) rests on two hard rules —
+processes communicate by message passing *only* (no shared memory), and
+everything unfolds in simulated time, so runs are bit-for-bit
+deterministic.  These are easy to violate silently during refactors;
+this package checks them statically:
+
+========  ==============================================================
+PL001     no wall-clock reads (``time.time`` & friends) outside
+          benchmark shims
+PL002     no unseeded randomness (global ``random.*``,
+          ``random.Random()`` without a seed)
+PL003     message-passing only: no cross-process attribute writes, no
+          module-level mutable state shared between process classes
+PL004     clock discipline: a function using ``PoolRuntime.send`` must
+          charge CPU somewhere (or say where it is charged)
+PL005     no bare ``except:``; no silently swallowed ``MachineError``
+========  ==============================================================
+
+Run as ``python -m repro.lint <paths>``.  Escape hatch per file or per
+line: ``# prismalint: disable=PL004 -- reason``.
+
+The runtime counterpart — the message-ownership sanitizer that catches
+what static analysis cannot — lives in :mod:`repro.pool.sanitizer`.
+"""
+
+from repro.lint.cli import ALL_RULES, main
+from repro.lint.framework import (
+    ImportMap,
+    LintError,
+    Rule,
+    SourceFile,
+    Violation,
+    lint_paths,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "ImportMap",
+    "LintError",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "lint_paths",
+    "main",
+]

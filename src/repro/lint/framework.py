@@ -1,0 +1,251 @@
+"""Rule framework for prismalint.
+
+A :class:`Rule` inspects one parsed :class:`SourceFile` and yields
+:class:`Violation` records.  The framework handles the parts every rule
+needs: parsing, import resolution, and the ``# prismalint: disable=``
+escape hatch.
+
+Disable comments come in two strengths:
+
+* a comment *line* of its own (nothing but whitespace before the ``#``)
+  disables the listed rules for the **whole file**;
+* a *trailing* comment on a code line disables them for **that line
+  only** (the line the violation is reported on).
+
+``disable=all`` switches every rule off.  A reason after the codes is
+encouraged: ``# prismalint: disable=PL004 -- charged by the caller``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ImportMap",
+    "LintError",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "iter_python_files",
+    "lint_paths",
+]
+
+#: Directory names never descended into when a directory is linted.
+#: (Explicitly named files are always linted, so the violating fixtures
+#: under tests/lint_fixtures stay reachable from the test suite.)
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    {
+        ".git",
+        ".mypy_cache",
+        ".ruff_cache",
+        ".venv",
+        "__pycache__",
+        "build",
+        "dist",
+        "lint_fixtures",
+    }
+)
+
+_DISABLE_RE = re.compile(r"#\s*prismalint:\s*disable=([A-Za-z0-9, ]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+            f"\n    hint: {self.hint}"
+        )
+
+
+class LintError(Exception):
+    """A file could not be linted at all (I/O or syntax error)."""
+
+
+def _parse_disables(text: str) -> tuple[set[str], dict[int, set[str]]]:
+    """Extract file-level and line-level disable pragmas from source text."""
+    file_disables: set[str] = set()
+    line_disables: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _DISABLE_RE.search(line)
+        if match is None:
+            continue
+        codes = {
+            code.strip().upper()
+            for code in match.group(1).split(",")
+            if code.strip()
+        }
+        codes = {"ALL" if c == "ALL" else c for c in codes}
+        if line[: match.start()].strip() == "":
+            file_disables |= codes
+        else:
+            line_disables.setdefault(lineno, set()).update(codes)
+    return file_disables, line_disables
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file plus its disable pragmas."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    file_disables: set[str] = field(default_factory=set)
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "SourceFile":
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"{path}: cannot read: {exc}") from exc
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            raise LintError(
+                f"{path}:{exc.lineno or 0}: syntax error: {exc.msg}"
+            ) from exc
+        file_disables, line_disables = _parse_disables(text)
+        return cls(path, text, tree, file_disables, line_disables)
+
+    def is_disabled(self, code: str, line: int) -> bool:
+        for scope in (self.file_disables, self.line_disables.get(line, ())):
+            if code in scope or "ALL" in scope:
+                return True
+        return False
+
+    def path_parts(self) -> tuple[str, ...]:
+        return self.path.parts
+
+
+class ImportMap:
+    """Resolves names in one module back to their imported origin.
+
+    ``import time as t`` maps ``t`` to ``time``; ``from random import
+    choice as pick`` maps ``pick`` to ``random.choice``.  Attribute
+    chains are appended, so ``t.perf_counter`` resolves to
+    ``time.perf_counter`` and ``datetime.datetime.now`` to itself.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self._origins: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._origins[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self._origins[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted origin of an expression, or None when not import-rooted."""
+        chain: list[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self._origins.get(node.id)
+        if origin is None:
+            return None
+        return ".".join([origin, *reversed(chain)])
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``name``/``hint`` and implement
+    :meth:`check` to yield violations for one file."""
+
+    code: str = "PL000"
+    name: str = "abstract"
+    hint: str = ""
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        source: SourceFile,
+        node: ast.AST | None,
+        message: str,
+        hint: str | None = None,
+    ) -> Violation:
+        line = getattr(node, "lineno", 0) or 0
+        col = getattr(node, "col_offset", 0) or 0
+        return Violation(
+            path=str(source.path),
+            line=line,
+            col=col + 1,
+            code=self.code,
+            message=message,
+            hint=hint if hint is not None else self.hint,
+        )
+
+    def run(self, source: SourceFile) -> Iterator[Violation]:
+        """Apply the rule, honouring disable pragmas."""
+        for violation in self.check(source):
+            if not source.is_disabled(self.code, violation.line):
+                yield violation
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    """Yield .py files under *paths*; explicit files bypass exclusions."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        if not path.is_dir():
+            raise LintError(f"{path}: no such file or directory")
+        for candidate in sorted(path.rglob("*.py")):
+            relative = candidate.relative_to(path)
+            if any(part in DEFAULT_EXCLUDED_DIRS for part in relative.parts[:-1]):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    rules: Iterable[Rule],
+) -> tuple[list[Violation], list[str]]:
+    """Lint every Python file under *paths* with *rules*.
+
+    Returns ``(violations, errors)`` where *errors* are files that could
+    not be parsed (these should fail the run too).
+    """
+    rules = list(rules)
+    violations: list[Violation] = []
+    errors: list[str] = []
+    for path in iter_python_files(paths):
+        try:
+            source = SourceFile.load(path)
+        except LintError as exc:
+            errors.append(str(exc))
+            continue
+        for rule in rules:
+            violations.extend(rule.run(source))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations, errors

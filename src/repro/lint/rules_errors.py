@@ -1,0 +1,66 @@
+"""PL005 — exception hygiene: no bare ``except:``, no swallowed
+``MachineError``.
+
+A bare ``except:`` catches ``KeyboardInterrupt`` and ``SystemExit`` and
+hides simulator bugs behind whatever fallback the handler runs.  And a
+``MachineError`` means the simulated machine was *driven incorrectly* —
+silently discarding one (an ``except MachineError: pass`` handler)
+leaves the simulation in a state the cost model never accounted for.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.framework import Rule, SourceFile, Violation
+
+__all__ = ["ExceptionHygieneRule"]
+
+
+def _mentions_machine_error(annotation: ast.expr) -> bool:
+    return any(
+        isinstance(node, (ast.Name, ast.Attribute))
+        and "MachineError" in ast.unparse(node)
+        for node in ast.walk(annotation)
+    )
+
+
+def _body_is_trivial(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+class ExceptionHygieneRule(Rule):
+    """PL005: bare excepts and silently-swallowed MachineErrors."""
+
+    code = "PL005"
+    name = "exception-hygiene"
+    hint = (
+        "catch the narrowest exception you can handle; re-raise or record "
+        "MachineError instead of discarding it"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    source,
+                    node,
+                    "bare except: catches SystemExit/KeyboardInterrupt "
+                    "and hides simulator bugs",
+                )
+            elif _mentions_machine_error(node.type) and _body_is_trivial(node.body):
+                yield self.violation(
+                    source,
+                    node,
+                    "MachineError swallowed silently: the simulation is now "
+                    "in a state the cost model never charged for",
+                )

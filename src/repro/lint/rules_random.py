@@ -1,0 +1,86 @@
+"""PL002 — no unseeded randomness.
+
+Deterministic replay is a hard requirement of the simulated machine: the
+same program on the same configuration must produce bit-for-bit the same
+timings and results.  The module-level ``random.*`` functions draw from
+a process-global generator seeded from the OS, and ``random.Random()``
+without a seed does the same — both make runs irreproducible.  The fix
+is always the same: thread an explicit ``random.Random(seed)`` instance
+through, as the traffic generators and workloads already do.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.framework import ImportMap, Rule, SourceFile, Violation
+
+__all__ = ["UnseededRandomRule"]
+
+#: Module-level random functions that consume or reset the global RNG.
+GLOBAL_RNG_FUNCTIONS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+def _call_is_seeded(node: ast.Call) -> bool:
+    """True when ``random.Random(...)`` received a seed argument."""
+    if node.args and not isinstance(node.args[0], ast.Constant):
+        return True
+    if node.args and getattr(node.args[0], "value", 0) is not None:
+        return True
+    return any(keyword.arg == "x" for keyword in node.keywords)
+
+
+class UnseededRandomRule(Rule):
+    """PL002: flag global-RNG calls and unseeded ``random.Random()``."""
+
+    code = "PL002"
+    name = "no-unseeded-random"
+    hint = (
+        "create an explicit random.Random(seed) and thread it through; "
+        "the global RNG breaks deterministic replay"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        imports = ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.resolve(node.func)
+            if origin is None or not origin.startswith("random."):
+                continue
+            leaf = origin.split(".", 1)[1]
+            if leaf in GLOBAL_RNG_FUNCTIONS:
+                yield self.violation(
+                    source, node, f"global-RNG call: {origin}()"
+                )
+            elif leaf == "Random" and not _call_is_seeded(node):
+                yield self.violation(
+                    source,
+                    node,
+                    "random.Random() constructed without a seed",
+                )

@@ -1,0 +1,69 @@
+"""PL001 — no wall-clock reads inside the simulated machine.
+
+Every behaviour of the reproduction unfolds in *simulated* time
+(``PoolProcess.ready_at`` / ``EventLoop.now``); reading the host's clock
+makes runs non-deterministic and couples experiment results to the
+hardware they happen to run on.  Benchmark harnesses are the one place
+wall-clock time is the point, so paths containing a ``benchmarks``
+directory (or ``*_harness.py`` shims) are allowlisted.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.framework import ImportMap, Rule, SourceFile, Violation
+
+__all__ = ["WallClockRule"]
+
+#: Dotted origins whose *call* reads the host clock.
+BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _is_benchmark_shim(source: SourceFile) -> bool:
+    parts = source.path_parts()
+    return "benchmarks" in parts or source.path.stem.endswith("_harness")
+
+
+class WallClockRule(Rule):
+    """PL001: flag wall-clock reads outside benchmark shims."""
+
+    code = "PL001"
+    name = "no-wall-clock"
+    hint = (
+        "use simulated time (PoolProcess.ready_at / EventLoop.now); "
+        "wall-clock reads belong only in benchmarks/ harness shims"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        if _is_benchmark_shim(source):
+            return
+        imports = ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.resolve(node.func)
+            if origin in BANNED_CALLS or (
+                origin is not None
+                and origin.startswith("datetime.")
+                and origin.split(".")[-1] in {"now", "utcnow", "today"}
+            ):
+                yield self.violation(
+                    source, node, f"wall-clock read: {origin}()"
+                )

@@ -2,7 +2,9 @@
 
 Dynamically created processes, message passing only, explicit allocation
 onto processing elements.  See :class:`PoolRuntime` and
-:class:`PoolProcess`.
+:class:`PoolProcess`.  The message-ownership sanitizer
+(:mod:`repro.pool.sanitizer`) enforces the no-aliasing half of the
+message-passing contract at runtime when enabled.
 """
 
 from repro.pool.placement import (
@@ -20,6 +22,7 @@ from repro.pool.runtime import (
     PoolRuntime,
     RuntimeStats,
 )
+from repro.pool.sanitizer import first_divergence, snapshot
 
 __all__ = [
     "DiskNodes",
@@ -33,4 +36,6 @@ __all__ = [
     "RoundRobin",
     "RuntimeStats",
     "SEND_OVERHEAD_S",
+    "first_divergence",
+    "snapshot",
 ]

@@ -31,7 +31,7 @@ class PlacementPolicy:
 class Pinned(PlacementPolicy):
     """Always the given element — fully explicit allocation."""
 
-    def __init__(self, node_id: int):
+    def __init__(self, node_id: int) -> None:
         self.node_id = node_id
 
     def choose(self, machine: Machine) -> int:
@@ -45,7 +45,7 @@ class Pinned(PlacementPolicy):
 class RoundRobin(PlacementPolicy):
     """Cycle through elements, optionally restricted to a subset."""
 
-    def __init__(self, nodes: Sequence[int] | None = None, start: int = 0):
+    def __init__(self, nodes: Sequence[int] | None = None, start: int = 0) -> None:
         self._nodes = list(nodes) if nodes is not None else None
         self._counter = itertools.count(start)
 
@@ -91,7 +91,7 @@ class MostFreeMemory(PlacementPolicy):
 class DiskNodes(PlacementPolicy):
     """Round-robin over the disk-equipped elements (for recovery services)."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counter = itertools.count()
 
     def choose(self, machine: Machine) -> int:

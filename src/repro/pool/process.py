@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 class PoolProcess:
     """One dynamically created process, allocated to a processing element."""
 
-    def __init__(self, runtime: "PoolRuntime", name: str, node_id: int):
+    def __init__(self, runtime: "PoolRuntime", name: str, node_id: int) -> None:
         self.runtime = runtime
         self.name = name
         self.node_id = node_id
@@ -67,7 +67,7 @@ class PoolProcess:
         return self.ready_at
 
     @property
-    def memory(self):
+    def memory(self) -> Any:
         """The local main-memory account of the hosting element."""
         return self.runtime.machine.node(self.node_id).memory
 

@@ -11,15 +11,17 @@ communication costs no matter which style produced them.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
-from repro.errors import MachineError
+from repro.errors import MachineError, MessageOwnershipError
 from repro.machine.config import MachineConfig
 from repro.machine.events import EventLoop
 from repro.machine.machine import Machine
 from repro.pool.placement import PlacementPolicy, RoundRobin
 from repro.pool.process import PoolProcess
+from repro.pool.sanitizer import first_divergence, snapshot
 
 P = TypeVar("P", bound=PoolProcess)
 
@@ -40,10 +42,32 @@ class RuntimeStats:
     local_messages: int = 0
 
 
-class PoolRuntime:
-    """Creates processes on a machine and passes messages between them."""
+def _sanitize_from_env() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+        "off",
+    )
 
-    def __init__(self, machine: Machine | MachineConfig | None = None):
+
+class PoolRuntime:
+    """Creates processes on a machine and passes messages between them.
+
+    With *sanitize* enabled (or ``REPRO_SANITIZE=1`` in the environment)
+    every :meth:`post` payload is structurally fingerprinted at send
+    time and re-verified at delivery; a payload mutated in between
+    raises :class:`~repro.errors.MessageOwnershipError` naming the
+    sender, the receiver, and the first mutated path.  See
+    :mod:`repro.pool.sanitizer`.
+    """
+
+    def __init__(
+        self,
+        machine: Machine | MachineConfig | None = None,
+        sanitize: bool | None = None,
+    ) -> None:
         if machine is None:
             machine = Machine()
         elif isinstance(machine, MachineConfig):
@@ -51,6 +75,7 @@ class PoolRuntime:
         self.machine = machine
         self.loop = EventLoop()
         self.stats = RuntimeStats()
+        self.sanitize = _sanitize_from_env() if sanitize is None else sanitize
         self._default_placement = RoundRobin()
         self._processes: dict[str, PoolProcess] = {}
         self._name_counter = 0
@@ -95,7 +120,9 @@ class PoolRuntime:
 
     def terminate(self, process: PoolProcess) -> None:
         """Kill a process; its name becomes reusable."""
-        process.alive = False
+        # The runtime is the process lifecycle mechanism, not a peer
+        # process; marking death is its job, not cross-process traffic.
+        process.alive = False  # prismalint: disable=PL003 -- runtime owns lifecycle
         self._processes.pop(process.name, None)
         self.stats.processes_terminated += 1
 
@@ -175,12 +202,26 @@ class PoolRuntime:
             departure = self.loop.now
             travel = 0.0
         arrival = max(departure + travel, self.loop.now)
+        fingerprint = snapshot(payload) if self.sanitize else None
 
         def deliver() -> None:
             if not receiver.alive:
                 return
+            if fingerprint is not None:
+                mutated = first_divergence(fingerprint, payload)
+                if mutated is not None:
+                    sender_name = sender.name if sender is not None else "<external>"
+                    raise MessageOwnershipError(
+                        f"payload mutated between send and delivery: "
+                        f"{sender_name} -> {receiver.name}, departed "
+                        f"t={departure:.6f}, delivered t={arrival:.6f}, "
+                        f"first mutated path: {mutated} (messages are "
+                        f"copied on the wire; senders must not alias them)"
+                    )
             receiver.advance_to(self.loop.now)
-            receiver.messages_handled += 1
+            # Delivery bookkeeping is the runtime acting as the wire,
+            # not one process reaching into another.
+            receiver.messages_handled += 1  # prismalint: disable=PL003 -- runtime is the wire
             receiver.handle(sender, payload)
 
         self.loop.schedule_at(arrival, deliver)

@@ -1,0 +1,17 @@
+"""Escape-hatch fixture: violations silenced by disable pragmas."""
+# prismalint: disable=PL001 -- fixture exercises the file-level pragma
+
+import random
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def also_stamp() -> float:
+    return time.monotonic()
+
+
+def pick(options: list[str]) -> str:
+    return random.choice(options)  # prismalint: disable=PL002 -- line-level pragma

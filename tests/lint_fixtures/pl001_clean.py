@@ -1,0 +1,5 @@
+"""PL001 clean: only simulated time, no host clock."""
+
+
+def response_time(ready_at: float, started_at: float) -> float:
+    return ready_at - started_at

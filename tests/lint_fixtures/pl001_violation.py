@@ -1,0 +1,17 @@
+"""PL001 violation: reads the host wall clock three different ways."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def elapsed() -> float:
+    return pc()
+
+
+def today() -> str:
+    return datetime.now().isoformat()

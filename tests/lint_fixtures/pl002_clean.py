@@ -1,0 +1,8 @@
+"""PL002 clean: explicit seeded generator threaded through."""
+
+import random
+
+
+def pick(seed: int, options: list[str]) -> str:
+    rng = random.Random(seed)
+    return rng.choice(options)

@@ -1,0 +1,16 @@
+"""PL002 violation: global RNG and an unseeded instance."""
+
+import random
+from random import shuffle
+
+
+def pick(options: list[str]) -> str:
+    return random.choice(options)
+
+
+def scramble(options: list[str]) -> None:
+    shuffle(options)
+
+
+def fresh_rng() -> random.Random:
+    return random.Random()

@@ -1,0 +1,12 @@
+"""PL005 clean: narrow handler that records what it caught."""
+
+from repro.errors import MachineError
+
+
+def try_run(action, log: list) -> bool:
+    try:
+        action()
+        return True
+    except MachineError as exc:
+        log.append(exc)
+        return False

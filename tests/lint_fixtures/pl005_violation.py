@@ -1,0 +1,17 @@
+"""PL005 violations: a bare except and a swallowed MachineError."""
+
+from repro.errors import MachineError
+
+
+def run_quietly(action) -> None:
+    try:
+        action()
+    except:
+        return None
+
+
+def ignore_machine_errors(action) -> None:
+    try:
+        action()
+    except MachineError:
+        pass

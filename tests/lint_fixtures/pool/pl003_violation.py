@@ -1,0 +1,22 @@
+"""PL003 violations: cross-process writes and shared module state."""
+
+from repro.pool.process import PoolProcess
+
+# Shared between both process classes below: shared memory in disguise.
+SHARED_SCRATCH = {}
+
+
+class Producer(PoolProcess):
+    def handle(self, sender, payload):
+        SHARED_SCRATCH["last"] = payload
+        # Writing through the sender reference mutates another process.
+        sender.last_ack = payload
+
+
+class Consumer(PoolProcess):
+    def handle(self, sender, payload):
+        return SHARED_SCRATCH.get("last")
+
+
+def poke(target: PoolProcess, value: int) -> None:
+    target.mailbox = value

@@ -1,0 +1,6 @@
+"""PL004 clean: the sending function charges for the work it models."""
+
+
+def ship_rows(runtime, sender, receiver, rows) -> float:
+    sender.charge(len(rows) * 1e-6)
+    return runtime.send(sender, receiver, len(rows) * 64)

@@ -1,0 +1,5 @@
+"""PL004 violation: sends a message but never charges any CPU."""
+
+
+def ship_rows(runtime, sender, receiver, rows) -> float:
+    return runtime.send(sender, receiver, len(rows) * 64)
