@@ -10,9 +10,12 @@ offered load at low rates and saturate in the vicinity of the paper's
 20k packets/s/PE figure.
 """
 
+import time
+
 import pytest
 
 from repro.machine import MachineConfig, PacketNetwork
+from repro.machine.profile import LoopProfiler
 from repro.machine.traffic import run_load_point
 
 from _harness import report
@@ -25,9 +28,12 @@ LOADS = [2_000, 5_000, 10_000, 15_000, 20_000, 25_000, 30_000]
 
 def measure(load: float, measure_s: float = 0.04) -> dict:
     network = PacketNetwork(CONFIG)
-    return run_load_point(
-        network, load, warmup_s=0.01, measure_s=measure_s, seed=17
-    )
+    with LoopProfiler(network.loop, clock=time.perf_counter) as profiler:
+        point = run_load_point(
+            network, load, warmup_s=0.01, measure_s=measure_s, seed=17
+        )
+    point["_profile"] = profiler.profile.as_dict()
+    return point
 
 
 @pytest.fixture(scope="module")
@@ -49,6 +55,8 @@ def test_e1_throughput_curve(sweep, benchmark):
             )
         )
     saturated = max(p["delivered_pps_per_node"] for p in sweep)
+    events = sum(p["_profile"]["events_fired"] for p in sweep)
+    wall = sum(p["_profile"]["wall_s"] for p in sweep)
     report(
         "E1",
         "delivered throughput per PE, 8x8 mesh, uniform random traffic",
@@ -58,6 +66,9 @@ def test_e1_throughput_curve(sweep, benchmark):
             f"analytic saturation bound: {bound:,.0f} pps/PE;"
             f" measured saturation: {saturated:,.0f} pps/PE;"
             " paper claim (Section 3.2): 'upto 20,000 packets/s per PE'."
+            f"\nsimulator: {events:,} events in {wall:.2f}s wall"
+            f" ({events / wall:,.0f} events/s) across the sweep;"
+            " see benchmarks/perf_gate.py for the regression gate."
         ),
     )
     # Reproduction checks: linear at low load, saturation in the claimed

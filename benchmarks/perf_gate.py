@@ -1,0 +1,217 @@
+"""Performance-regression gate for the discrete-event hot path.
+
+Times the E1 acceptance point — 64-PE mesh, 20,000 packets/s/PE offered
+load, 0.01 s warmup + 0.02 s measurement window, seed 17 — and compares
+against the committed baseline in ``benchmarks/perf_baseline.json``.
+
+Two gates:
+
+* **events fired** (machine-independent): the simulation is
+  deterministic, so the event count catches algorithmic regressions —
+  e.g. re-introducing a second event per hop — regardless of host
+  speed.  Fails when the count exceeds the baseline by >5 %.
+* **wall clock**: fails when the best-of-N wall time regresses by more
+  than ``PERF_GATE_MAX_REGRESSION`` (default 0.30, i.e. 30 %) against
+  the committed baseline.  Absolute wall time varies across hosts; CI
+  runners and the baseline machine are assumed comparable, and the
+  threshold absorbs the rest.  ``--no-wall-gate`` (or setting the env
+  var to a huge value) keeps the report without failing.
+
+The measured stats are also checked against the baseline's pinned
+fingerprint (injected / delivered counts): a mismatch means simulation
+*results* changed, in which case the perf baseline and the golden
+files under ``tests/golden/`` must be regenerated deliberately.
+
+Run::
+
+    python benchmarks/perf_gate.py                 # measure + gate
+    python benchmarks/perf_gate.py --update-baseline
+
+Writes ``benchmarks/results/bench_perf.json`` either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+SRC = HERE.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.machine import MachineConfig, PacketNetwork  # noqa: E402
+from repro.machine.profile import LoopProfiler  # noqa: E402
+from repro.machine.traffic import run_load_point  # noqa: E402
+
+BASELINE_PATH = HERE / "perf_baseline.json"
+RESULTS_PATH = HERE / "results" / "bench_perf.json"
+
+#: The E1 acceptance point (ISSUE 2): 20k pps/PE, 0.02 s window, seed 17.
+GATE_POINT = {
+    "n_nodes": 64,
+    "topology": "mesh",
+    "rate_per_node_pps": 20_000,
+    "warmup_s": 0.01,
+    "measure_s": 0.02,
+    "seed": 17,
+}
+
+
+def measure_once() -> dict:
+    """One timed run of the gate point; returns profile + stats."""
+    config = MachineConfig(
+        n_nodes=GATE_POINT["n_nodes"], topology=GATE_POINT["topology"]
+    )
+    network = PacketNetwork(config)
+    start = time.perf_counter()
+    with LoopProfiler(network.loop, clock=time.perf_counter) as profiler:
+        point = run_load_point(
+            network,
+            GATE_POINT["rate_per_node_pps"],
+            warmup_s=GATE_POINT["warmup_s"],
+            measure_s=GATE_POINT["measure_s"],
+            seed=GATE_POINT["seed"],
+        )
+    wall = time.perf_counter() - start
+    profile = profiler.profile.as_dict()
+    profile["wall_s"] = wall  # includes network construction, like a user run
+    return {"profile": profile, "stats": point}
+
+
+def measure(repeats: int) -> dict:
+    runs = [measure_once() for _ in range(repeats)]
+    best = min(runs, key=lambda r: r["profile"]["wall_s"])
+    profile = dict(best["profile"])
+    profile["events_per_sec"] = (
+        profile["events_fired"] / profile["wall_s"] if profile["wall_s"] > 0 else 0.0
+    )
+    return {
+        "gate_point": GATE_POINT,
+        "repeats": repeats,
+        "wall_s_all": [round(r["profile"]["wall_s"], 4) for r in runs],
+        "profile": profile,
+        "stats": best["stats"],
+    }
+
+
+def check_fingerprint(measured: dict, baseline: dict) -> list[str]:
+    problems = []
+    expected = baseline.get("expected_stats", {})
+    stats = measured["stats"]
+    for key, want in expected.items():
+        got = stats.get(key)
+        if got != want:
+            problems.append(
+                f"determinism fingerprint mismatch: {key} = {got}, baseline"
+                f" pinned {want} — simulation results changed; regenerate"
+                " benchmarks/perf_baseline.json and tests/golden/ deliberately"
+            )
+    return problems
+
+
+def check_gates(measured: dict, baseline: dict, wall_gate: bool) -> list[str]:
+    failures = []
+    committed = baseline["committed"]
+    profile = measured["profile"]
+    events, base_events = profile["events_fired"], committed["events_fired"]
+    if events > base_events * 1.05:
+        failures.append(
+            f"event-count regression: {events} fired vs baseline"
+            f" {base_events} (+{(events / base_events - 1) * 100:.1f}%, limit 5%)"
+        )
+    threshold = float(os.environ.get("PERF_GATE_MAX_REGRESSION", "0.30"))
+    wall, base_wall = profile["wall_s"], committed["wall_s"]
+    if wall_gate and wall > base_wall * (1 + threshold):
+        failures.append(
+            f"wall-clock regression: {wall:.3f}s vs baseline {base_wall:.3f}s"
+            f" (+{(wall / base_wall - 1) * 100:.1f}%, limit {threshold * 100:.0f}%)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--no-wall-gate",
+        action="store_true",
+        help="report wall time but do not fail on it",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite benchmarks/perf_baseline.json from this run",
+    )
+    args = parser.parse_args(argv)
+
+    measured = measure(args.repeats)
+    profile = measured["profile"]
+    print(
+        f"perf_gate: wall {profile['wall_s']:.3f}s"
+        f"  events {profile['events_fired']}"
+        f"  {profile['events_per_sec']:,.0f} events/s"
+        f"  heap peak {profile['heap_peak']}"
+    )
+
+    baseline = json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else None
+    report = {"measured": measured, "baseline": baseline, "host": platform.platform()}
+
+    failures: list[str] = []
+    if args.update_baseline or baseline is None:
+        new_baseline = {
+            "benchmark": (
+                "E1 single load point: 64-PE mesh, 20,000 pps/PE offered,"
+                " 0.01s warmup, 0.02s window, bounded drain, seed 17"
+            ),
+            "pre_rewrite": (baseline or {}).get("pre_rewrite"),
+            "committed": {
+                "wall_s": round(profile["wall_s"], 4),
+                "events_fired": profile["events_fired"],
+                "events_per_sec": round(profile["events_per_sec"]),
+                "heap_peak": profile["heap_peak"],
+                "host": platform.platform(),
+            },
+            "expected_stats": {
+                "injected": measured["stats"]["injected"],
+                "delivered": measured["stats"]["delivered"],
+                "delivered_in_window": measured["stats"]["delivered_in_window"],
+                "in_flight": measured["stats"]["in_flight"],
+            },
+        }
+        BASELINE_PATH.write_text(json.dumps(new_baseline, indent=2) + "\n")
+        print(f"perf_gate: baseline written to {BASELINE_PATH}")
+        report["baseline"] = new_baseline
+    else:
+        failures.extend(check_fingerprint(measured, baseline))
+        failures.extend(check_gates(measured, baseline, not args.no_wall_gate))
+        pre = baseline.get("pre_rewrite")
+        if pre:
+            speedup = pre["wall_s"] / profile["wall_s"]
+            event_cut = 1 - profile["events_fired"] / pre["events_fired"]
+            print(
+                f"perf_gate: {speedup:.2f}x faster than the pre-rewrite core"
+                f" ({pre['wall_s']:.3f}s / {pre['events_fired']} events);"
+                f" event count cut by {event_cut * 100:.0f}%"
+            )
+            report["speedup_vs_pre_rewrite"] = round(speedup, 2)
+
+    report["gate"] = {"passed": not failures, "failures": failures}
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"perf_gate: report written to {RESULTS_PATH}")
+
+    for failure in failures:
+        print(f"perf_gate: FAIL — {failure}", file=sys.stderr)
+    if not failures:
+        print("perf_gate: PASS")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,15 +8,19 @@ Public surface:
 * :class:`PacketNetwork` / :mod:`~repro.machine.traffic` — packet-level
   network simulator used by experiments E1/E2.
 * topology builders for the mesh and chordal-ring interconnects.
+* :class:`LoopProfiler` — events-fired / events-per-second / heap-peak
+  counters for the discrete-event core (see README, "Profiling the
+  simulator").
 """
 
 from repro.machine.config import MachineConfig, paper_prototype, small_machine
 from repro.machine.disk import Disk, DiskStats
-from repro.machine.events import EventLoop
+from repro.machine.events import EventHandle, EventLoop
 from repro.machine.machine import Machine
 from repro.machine.memory import MemoryAccount
 from repro.machine.network import NetworkStats, Packet, PacketNetwork
 from repro.machine.node import NodeStats, ProcessingElement
+from repro.machine.profile import LoopProfile, LoopProfiler
 from repro.machine.router import Router
 from repro.machine.topology import (
     Topology,
@@ -38,7 +42,10 @@ from repro.machine.traffic import (
 __all__ = [
     "Disk",
     "DiskStats",
+    "EventHandle",
     "EventLoop",
+    "LoopProfile",
+    "LoopProfiler",
     "Machine",
     "MachineConfig",
     "MemoryAccount",

@@ -1,52 +1,94 @@
 """Discrete-event simulation core.
 
-A minimal, deterministic event engine: events are ``(time, sequence,
-callback)`` triples kept in a binary heap.  Ties in time are broken by
-insertion order, which makes every simulation run reproducible.
+A minimal, deterministic event engine: events are plain ``(time,
+sequence, fn, arg)`` tuples kept in a binary heap.  Ties in time are
+broken by insertion order, which makes every simulation run
+reproducible.
 
 The engine is deliberately free of any PRISMA-specific knowledge; the
 network simulator (:mod:`repro.machine.network`) and the disk model build
 on it.
+
+Hot-path design
+---------------
+Every simulated packet hop costs at least one event, so the scheduler is
+the single hottest code in the repository.  Three choices keep it lean:
+
+* Heap entries are tuples, not objects.  Tuple comparison on
+  ``(time, sequence)`` is a single C-level operation; there is no
+  per-event instance, ``__lt__`` dispatch, or attribute access.
+* Callbacks are stored as ``(fn, arg)`` pairs and invoked as
+  ``fn(arg)``.  Hot callers (:class:`~repro.machine.network.PacketNetwork`,
+  :class:`~repro.machine.traffic.PoissonTraffic`) use
+  :meth:`EventLoop.schedule_call_at` to pass a bound method plus its
+  argument directly, avoiding a closure allocation per event.  The
+  zero-argument convenience API (:meth:`EventLoop.schedule_at` /
+  :meth:`EventLoop.schedule`) stores the callback *as* the argument of a
+  shared trampoline.
+* Cancellation is pay-for-what-you-use: only
+  :meth:`EventLoop.schedule_cancellable` /
+  :meth:`EventLoop.schedule_cancellable_at` allocate an
+  :class:`EventHandle`; the common non-cancellable path allocates
+  nothing beyond the heap tuple.
+
+The loop also keeps O(1) profiling counters — live (pending) events,
+total events fired, and the peak heap size — surfaced through
+:mod:`repro.machine.profile` and the benchmark harnesses.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import MachineError
 
 EventCallback = Callable[[], None]
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+def _call0(callback: EventCallback) -> None:
+    """Trampoline invoking a zero-argument callback stored as the arg."""
+    callback()
+
+
+def _fire_handle(handle: "EventHandle") -> None:
+    """Trampoline firing a cancellable event through its handle."""
+    handle._fired = True
+    handle._callback()
 
 
 class EventHandle:
-    """Handle returned by :meth:`EventLoop.schedule`; allows cancellation."""
+    """Handle returned by the ``schedule_cancellable`` methods.
 
-    __slots__ = ("_event",)
+    Allocated lazily: only events that may need cancelling pay for a
+    handle object; plain events are bare heap tuples.
+    """
 
-    def __init__(self, event: _Event):
-        self._event = event
+    __slots__ = ("_loop", "_callback", "_cancelled", "_fired", "time")
+
+    def __init__(self, loop: "EventLoop", time: float, callback: EventCallback):
+        self._loop = loop
+        self._callback = callback
+        self._cancelled = False
+        self._fired = False
+        self.time = time
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        if not self._cancelled and not self._fired:
+            self._cancelled = True
+            self._loop._live -= 1
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._cancelled
 
     @property
-    def time(self) -> float:
-        return self._event.time
+    def fired(self) -> bool:
+        """Whether the event has already run (cancel is then a no-op)."""
+        return self._fired
 
 
 class EventLoop:
@@ -56,20 +98,35 @@ class EventLoop:
     -------
     >>> loop = EventLoop()
     >>> fired = []
-    >>> _ = loop.schedule_at(2.0, lambda: fired.append("b"))
-    >>> _ = loop.schedule_at(1.0, lambda: fired.append("a"))
+    >>> loop.schedule_at(2.0, lambda: fired.append("b"))
+    >>> loop.schedule_at(1.0, lambda: fired.append("a"))
     >>> loop.run()
+    2
     >>> fired
     ['a', 'b']
     >>> loop.now
     2.0
     """
 
+    __slots__ = (
+        "_queue",
+        "_now",
+        "_sequence",
+        "_running",
+        "_live",
+        "_fired_total",
+        "_heap_peak",
+    )
+
     def __init__(self):
-        self._queue: list[_Event] = []
+        # Heap of (time, sequence, fn, arg); fired as fn(arg).
+        self._queue: list[tuple[float, int, Callable[[Any], None], Any]] = []
         self._now = 0.0
         self._sequence = 0
         self._running = False
+        self._live = 0
+        self._fired_total = 0
+        self._heap_peak = 0
 
     @property
     def now(self) -> float:
@@ -78,34 +135,79 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired (and not cancelled) events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-fired (and not cancelled) events.  O(1)."""
+        return self._live
 
-    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
-        """Schedule *callback* to fire at absolute simulated *time*."""
+    @property
+    def events_fired_total(self) -> int:
+        """Events fired over the loop's lifetime (cancelled skips excluded)."""
+        return self._fired_total
+
+    @property
+    def heap_peak(self) -> int:
+        """Largest heap size ever reached (cancelled zombies included)."""
+        return self._heap_peak
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule_call_at(
+        self, time: float, fn: Callable[[Any], None], arg: Any
+    ) -> None:
+        """Hot path: fire ``fn(arg)`` at absolute simulated *time*.
+
+        No handle, no closure — the event is a bare heap tuple.  Use
+        this from per-packet / per-message code.
+        """
         if time < self._now:
             raise MachineError(
                 f"cannot schedule event in the past: {time} < now {self._now}"
             )
-        event = _Event(time, self._sequence, callback)
+        queue = self._queue
+        heapq.heappush(queue, (time, self._sequence, fn, arg))
         self._sequence += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        if len(queue) > self._heap_peak:
+            self._heap_peak = len(queue)
 
-    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
-        """Schedule *callback* to fire *delay* seconds from now."""
+    def schedule_at(self, time: float, callback: EventCallback) -> None:
+        """Schedule zero-argument *callback* at absolute simulated *time*."""
+        self.schedule_call_at(time, _call0, callback)
+
+    def schedule(self, delay: float, callback: EventCallback) -> None:
+        """Schedule zero-argument *callback* *delay* seconds from now."""
         if delay < 0:
             raise MachineError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, callback)
+        self.schedule_call_at(self._now + delay, _call0, callback)
+
+    def schedule_cancellable_at(
+        self, time: float, callback: EventCallback
+    ) -> EventHandle:
+        """Like :meth:`schedule_at` but returns a cancellable handle."""
+        handle = EventHandle(self, time, callback)
+        self.schedule_call_at(time, _fire_handle, handle)
+        return handle
+
+    def schedule_cancellable(
+        self, delay: float, callback: EventCallback
+    ) -> EventHandle:
+        """Like :meth:`schedule` but returns a cancellable handle."""
+        if delay < 0:
+            raise MachineError(f"negative delay: {delay}")
+        return self.schedule_cancellable_at(self._now + delay, callback)
+
+    # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the single next event.  Returns ``False`` if none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            head = heapq.heappop(queue)
+            if head[2] is _fire_handle and head[3]._cancelled:
                 continue
-            self._now = event.time
-            event.callback()
+            self._now = head[0]
+            self._live -= 1
+            self._fired_total += 1
+            head[2](head[3])
             return True
         return False
 
@@ -130,24 +232,38 @@ class EventLoop:
             raise MachineError("event loop is not reentrant")
         self._running = True
         fired = 0
+        # Local bindings: every name in the loop body resolves via
+        # LOAD_FAST instead of attribute / global lookups.  The bounds
+        # become sentinels (+inf / maxsize) so the loop body pays plain
+        # comparisons instead of None checks, and events are popped
+        # immediately (no head peek) — a too-late event is pushed back
+        # once, when the run stops.
+        queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        fire_handle = _fire_handle
+        time_bound = float("inf") if until is None else until
+        event_bound = sys.maxsize if max_events is None else max_events
         try:
-            while self._queue:
-                if max_events is not None and fired >= max_events:
+            while queue:
+                if fired >= event_bound:
                     break
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+                head = pop(queue)
+                time, _seq, fn, arg = head
+                if fn is fire_handle and arg._cancelled:
                     continue
-                if until is not None and head.time > until:
-                    self._now = until
+                if time > time_bound:
+                    push(queue, head)
+                    self._now = time_bound
                     break
-                heapq.heappop(self._queue)
-                self._now = head.time
-                head.callback()
+                self._now = time
+                self._live -= 1
+                fn(arg)
                 fired += 1
             else:
                 if until is not None and until > self._now:
                     self._now = until
         finally:
             self._running = False
+            self._fired_total += fired
         return fired

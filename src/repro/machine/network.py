@@ -9,6 +9,24 @@ ring, with FIFO output queues per link.
 
 Experiments E1/E2 sweep the offered load and report delivered throughput
 and latency per processing element.
+
+Analytic-FIFO fast path
+-----------------------
+Each directed link is a deterministic FIFO server with fixed service
+time, so a packet's departure instant is known *at enqueue time*::
+
+    depart = max(now, link_next_free) + service_time
+    link_next_free = depart
+
+The simulator therefore schedules exactly ONE event per hop — the
+arrival at the next node, at ``depart + switch_delay`` — instead of a
+service-completion event plus an arrival closure.  This halves the
+event count and produces bit-identical timestamps: the float additions
+performed are the same ones the explicit service-completion model
+performs, in the same order per link (see DESIGN.md, "Analytic FIFO
+links").  Per-link state lives in flat integer-indexed arrays; the
+routing step is a single flat-table lookup
+(:meth:`repro.machine.router.Router.out_link`).
 """
 
 from __future__ import annotations
@@ -23,18 +41,23 @@ from repro.machine.router import Router
 from repro.machine.topology import Topology, build_topology
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One network packet in flight."""
+    """One network packet in flight.
+
+    ``node`` is simulator bookkeeping: the element the packet is
+    currently headed to (updated as each hop is scheduled).
+    """
 
     packet_id: int
     source: int
     destination: int
     injected_at: float
     hops_taken: int = 0
+    node: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Counters accumulated by a :class:`PacketNetwork`."""
 
@@ -52,19 +75,6 @@ class NetworkStats:
 
     def mean_hops(self) -> float:
         return self.total_hops / self.delivered if self.delivered else 0.0
-
-
-class _Link:
-    """One directed link: a FIFO queue served at the link bandwidth."""
-
-    __slots__ = ("source", "destination", "queue", "busy", "served")
-
-    def __init__(self, source: int, destination: int):
-        self.source = source
-        self.destination = destination
-        self.queue: deque[Packet] = deque()
-        self.busy = False
-        self.served = 0
 
 
 class PacketNetwork:
@@ -100,13 +110,27 @@ class PacketNetwork:
             )
         self.router = Router(self.topology)
         self.stats = NetworkStats()
-        self._links: dict[tuple[int, int], _Link] = {}
-        for u in range(self.topology.n_nodes):
-            for v in self.topology.neighbors(u):
-                self._links[(u, v)] = _Link(u, v)
+        # Flat per-link state, indexed by the router's directed link ids:
+        # the instant each link is next free, the departure times of the
+        # packets it still holds (FIFO order), and how many packets were
+        # ever enqueued on it.
+        n_links = self.router.n_directed_links
+        self._link_next_free: list[float] = [0.0] * n_links
+        self._link_departs: list[deque[float]] = [deque() for _ in range(n_links)]
+        self._link_enqueued: list[int] = [0] * n_links
+        self._out_link = self.router._out_link
+        self._link_dest = self.router.link_destination
+        self._n_nodes = self.topology.n_nodes
+        # Cache the derived per-hop constants: the config properties
+        # recompute a division per access, which the hot path cannot pay.
+        self._service_s = self.config.packet_service_time_s
+        self._switch_s = self.config.switch_delay_s
         self._next_packet_id = 0
         #: measurement window start; deliveries before it are not counted.
         self._measure_from = 0.0
+        # One bound method reused for every hop event: creating a bound
+        # method per schedule is an allocation the hot path cannot pay.
+        self._arrive_cb = self._arrive
 
     # -- measurement control ------------------------------------------------
 
@@ -124,6 +148,7 @@ class PacketNetwork:
             source=source,
             destination=destination,
             injected_at=self.loop.now,
+            node=source,
         )
         self._next_packet_id += 1
         self.stats.injected += 1
@@ -132,51 +157,48 @@ class PacketNetwork:
             self.stats.local += 1
             self._deliver(packet)
             return packet
-        self._forward(packet, at_node=source)
+        packet.node = source
+        self._arrive(packet)
         return packet
 
     # -- internals ---------------------------------------------------------------
 
-    def _forward(self, packet: Packet, at_node: int) -> None:
-        next_node = self.router.next_hop(at_node, packet.destination)
-        link = self._links[(at_node, next_node)]
-        if (
-            self.queue_capacity is not None
-            and len(link.queue) >= self.queue_capacity
-        ):
-            self.stats.dropped += 1
+    def _arrive(self, packet: Packet) -> None:
+        """Handle a packet at ``packet.node``: deliver, or forward one hop.
+
+        This single method IS the hot path — every hop event fires it
+        once, and :meth:`inject` enters through it (with ``packet.node``
+        set to the source).  The forward step applies the analytic FIFO
+        law: the departure instant is computed at enqueue time and only
+        the arrival at the next switch is scheduled.
+        """
+        node = packet.node
+        destination = packet.destination
+        if node == destination:
+            self._deliver(packet)
             return
-        link.queue.append(packet)
-        if not link.busy:
-            self._start_service(link)
-
-    def _start_service(self, link: _Link) -> None:
-        link.busy = True
-        self.loop.schedule(
-            self.config.packet_service_time_s,
-            lambda: self._finish_service(link),
-        )
-
-    def _finish_service(self, link: _Link) -> None:
-        packet = link.queue.popleft()
-        link.served += 1
+        link_id = self._out_link[node * self._n_nodes + destination]
+        now = self.loop.now
+        departs = self._link_departs[link_id]
+        if self.queue_capacity is not None:
+            # Packets that have already departed no longer occupy the
+            # queue; purge them before the occupancy check.
+            while departs and departs[0] <= now:
+                departs.popleft()
+            if len(departs) >= self.queue_capacity:
+                # Mirror _deliver: only packets injected inside the
+                # measurement window count toward the drop statistics.
+                if packet.injected_at >= self._measure_from:
+                    self.stats.dropped += 1
+                return
+        next_free = self._link_next_free[link_id]
+        depart = (next_free if next_free > now else now) + self._service_s
+        self._link_next_free[link_id] = depart
+        departs.append(depart)
+        self._link_enqueued[link_id] += 1
         packet.hops_taken += 1
-        if link.queue:
-            self._start_service(link)
-        else:
-            link.busy = False
-        # The packet crosses the switch at the receiving node, then either
-        # terminates or is forwarded onto the next link.
-        arrival_node = link.destination
-        delay = self.config.switch_delay_s
-
-        def arrive() -> None:
-            if arrival_node == packet.destination:
-                self._deliver(packet)
-            else:
-                self._forward(packet, at_node=arrival_node)
-
-        self.loop.schedule(delay, arrive)
+        packet.node = self._link_dest[link_id]
+        self.loop.schedule_call_at(depart + self._switch_s, self._arrive_cb, packet)
 
     def _deliver(self, packet: Packet) -> None:
         if packet.injected_at < self._measure_from:
@@ -185,16 +207,28 @@ class PacketNetwork:
         stats = self.stats
         stats.delivered += 1
         stats.total_latency_s += latency
-        stats.max_latency_s = max(stats.max_latency_s, latency)
+        if latency > stats.max_latency_s:
+            stats.max_latency_s = latency
         stats.total_hops += packet.hops_taken
         node_counts = stats.delivered_per_node
         node_counts[packet.destination] = node_counts.get(packet.destination, 0) + 1
+
+    def _purge_departed(self, link_id: int) -> int:
+        """Drop departure records that are in the past; return queue length."""
+        departs = self._link_departs[link_id]
+        now = self.loop.now
+        while departs and departs[0] <= now:
+            departs.popleft()
+        return len(departs)
 
     # -- results ---------------------------------------------------------------
 
     def in_flight(self) -> int:
         """Packets currently queued or in service."""
-        return sum(len(link.queue) for link in self._links.values())
+        return sum(
+            self._purge_departed(link_id)
+            for link_id in range(self.router.n_directed_links)
+        )
 
     def throughput_per_node_pps(self, window_s: float) -> float:
         """Mean delivered packets/second per processing element."""
@@ -204,13 +238,17 @@ class PacketNetwork:
 
     def link_utilization(self, window_s: float) -> dict[tuple[int, int], float]:
         """Busy fraction of each directed link over a window."""
-        service = self.config.packet_service_time_s
+        router = self.router
+        keys = zip(router.link_source, router.link_destination)
         if window_s <= 0:
-            return {key: 0.0 for key in self._links}
-        return {
-            key: min(1.0, link.served * service / window_s)
-            for key, link in self._links.items()
-        }
+            return {key: 0.0 for key in keys}
+        service = self._service_s
+        result = {}
+        for link_id, key in enumerate(keys):
+            # Services completed by now: ever enqueued minus still queued.
+            served = self._link_enqueued[link_id] - self._purge_departed(link_id)
+            result[key] = min(1.0, served * service / window_s)
+        return result
 
     def saturation_bound_pps(self) -> float:
         """Upper bound on per-node delivered throughput under uniform traffic.

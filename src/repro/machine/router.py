@@ -31,6 +31,28 @@ class Router:
         self._distance: list[list[int]] = [[-1] * n for _ in range(n)]
         for destination in range(n):
             self._build_routes_to(destination)
+        # Directed links enumerated in deterministic (source, neighbor)
+        # order; the packet simulator indexes its per-link state by these
+        # integer ids instead of hashing (u, v) tuples per hop.
+        self.link_source: list[int] = []
+        self.link_destination: list[int] = []
+        link_ids: dict[tuple[int, int], int] = {}
+        for u in range(n):
+            for v in topology.neighbors(u):
+                link_ids[(u, v)] = len(self.link_source)
+                self.link_source.append(u)
+                self.link_destination.append(v)
+        self.n_directed_links = len(self.link_source)
+        # Flat node->destination->outgoing-link-id table: one list index
+        # replaces a next-hop lookup plus a link dict lookup on the hot
+        # path.  -1 marks node == destination (no link to take).
+        out_link = [-1] * (n * n)
+        for destination in range(n):
+            hops = self._next_hop[destination]
+            for node in range(n):
+                if node != destination:
+                    out_link[node * n + destination] = link_ids[(node, hops[node])]
+        self._out_link = out_link
 
     def _build_routes_to(self, destination: int) -> None:
         next_hop = self._next_hop[destination]
@@ -56,6 +78,15 @@ class Router:
     def next_hop(self, node: int, destination: int) -> int:
         """The neighbor *node* forwards to, en route to *destination*."""
         return self._next_hop[destination][node]
+
+    def out_link(self, node: int, destination: int) -> int:
+        """Id of the directed link *node* forwards on toward *destination*.
+
+        Returns -1 when ``node == destination``.  The id indexes
+        :attr:`link_source` / :attr:`link_destination` and the flat
+        per-link arrays kept by the packet simulator.
+        """
+        return self._out_link[node * self.topology.n_nodes + destination]
 
     def hops(self, source: int, destination: int) -> int:
         """Shortest-path length in hops."""

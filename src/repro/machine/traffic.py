@@ -70,6 +70,10 @@ class PoissonTraffic:
         self.choose_destination = choose_destination
         self._rng = random.Random(seed)
         self._stop_at: float | None = None
+        # Reused bound methods: one heap tuple per arrival, no per-event
+        # bound-method or closure allocation.
+        self._fire_cb = self._fire
+        self._expovariate = self._rng.expovariate
 
     def start(self, duration_s: float) -> None:
         """Schedule arrivals at every node for *duration_s* from now."""
@@ -80,19 +84,19 @@ class PoissonTraffic:
 
     def _schedule_next(self, node: int) -> None:
         loop = self.network.loop
-        gap = self._rng.expovariate(self.rate)
+        gap = self._expovariate(self.rate)
         when = loop.now + gap
         if self._stop_at is None or when > self._stop_at:
             return
+        loop.schedule_call_at(when, self._fire_cb, node)
 
-        def fire() -> None:
-            destination = self.choose_destination(
-                self._rng, node, self.network.topology.n_nodes
-            )
-            self.network.inject(node, destination)
-            self._schedule_next(node)
-
-        loop.schedule_at(when, fire)
+    def _fire(self, node: int) -> None:
+        network = self.network
+        destination = self.choose_destination(
+            self._rng, node, network.topology.n_nodes
+        )
+        network.inject(node, destination)
+        self._schedule_next(node)
 
 
 def run_load_point(
@@ -102,33 +106,60 @@ def run_load_point(
     measure_s: float = 0.1,
     seed: int = 0,
     choose_destination: DestinationChooser = uniform_destination,
+    drain_s: float | None = None,
 ) -> dict[str, float]:
     """Measure one point of the load/throughput curve.
 
     Runs *warmup_s* of traffic to fill queues, resets counters, then
     measures for *measure_s*.  Returns a summary dict with offered and
     delivered per-node throughput, latency, and drop statistics.
+
+    Throughput is the delivery *flux* during the window
+    (``delivered_in_window / measure_s``), which is what saturates; the
+    latency and hop statistics cover every packet injected during the
+    window, so after the window closes the loop keeps running — bounded
+    by *drain_s* extra simulated seconds (default: ``warmup_s +
+    measure_s``) — until those in-flight packets are delivered or
+    dropped.  ``in_flight`` is sampled at window close, before the
+    drain, so it reflects the steady-state backlog.
     """
     traffic = PoissonTraffic(
         network, rate_per_node_pps, seed=seed, choose_destination=choose_destination
     )
     traffic.start(warmup_s + measure_s)
-    network.loop.run(until=network.loop.now + warmup_s)
+    loop = network.loop
+    loop.run(until=loop.now + warmup_s)
     network.start_measuring()
-    measure_start = network.loop.now
-    network.loop.run(until=measure_start + measure_s)
-    # Let already-injected packets drain so their latencies are counted,
-    # but do not credit packets injected after the window.
-    window = network.loop.now - measure_start
+    measure_start = loop.now
+    loop.run(until=measure_start + measure_s)
+    window = loop.now - measure_start
     stats = network.stats
+    delivered_in_window = stats.delivered
+    in_flight_at_close = network.in_flight()
+    # Drain: injections have ceased (the traffic window is over), so we
+    # only wait — bounded — for the packets injected during the window
+    # to reach their destinations and contribute their latencies.
+    drain_deadline = loop.now + (
+        drain_s if drain_s is not None else warmup_s + measure_s
+    )
+    while (
+        stats.delivered + stats.dropped < stats.injected
+        and loop.now < drain_deadline
+        and loop.pending
+    ):
+        loop.run(until=drain_deadline, max_events=8192)
+    n_nodes = network.topology.n_nodes
     return {
         "offered_pps_per_node": rate_per_node_pps,
-        "delivered_pps_per_node": network.throughput_per_node_pps(window),
+        "delivered_pps_per_node": (
+            delivered_in_window / window / n_nodes if window > 0 else 0.0
+        ),
         "mean_latency_s": stats.mean_latency_s(),
         "max_latency_s": stats.max_latency_s,
         "mean_hops": stats.mean_hops(),
         "injected": float(stats.injected),
         "delivered": float(stats.delivered),
+        "delivered_in_window": float(delivered_in_window),
         "dropped": float(stats.dropped),
-        "in_flight": float(network.in_flight()),
+        "in_flight": float(in_flight_at_close),
     }

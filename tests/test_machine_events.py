@@ -26,12 +26,32 @@ def test_ties_break_by_insertion_order():
     assert fired == ["a", "b", "c"]
 
 
+def test_ties_break_by_insertion_order_across_schedule_styles():
+    """Plain, arg-carrying, and cancellable events share one seq stream."""
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(1.0, lambda: fired.append("plain"))
+    loop.schedule_call_at(1.0, fired.append, "call")
+    loop.schedule_cancellable_at(1.0, lambda: fired.append("cancellable"))
+    loop.schedule_call_at(1.0, fired.append, "call2")
+    loop.run()
+    assert fired == ["plain", "call", "cancellable", "call2"]
+
+
 def test_schedule_relative_delay():
     loop = EventLoop()
     seen = []
     loop.schedule(0.5, lambda: seen.append(loop.now))
     loop.run()
     assert seen == [0.5]
+
+
+def test_schedule_call_at_passes_argument():
+    loop = EventLoop()
+    seen = []
+    loop.schedule_call_at(1.0, seen.append, 42)
+    loop.run()
+    assert seen == [42]
 
 
 def test_events_can_schedule_events():
@@ -76,10 +96,27 @@ def test_max_events_bounds_execution():
     assert fired == [0, 1, 2]
 
 
+def test_run_until_with_max_events_leaves_clock_at_last_fired():
+    """When max_events stops the run first, the clock does NOT jump to
+    *until*; it stays at the last fired event so a later run resumes."""
+    loop = EventLoop()
+    fired = []
+    for i in range(5):
+        loop.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+    count = loop.run(until=10.0, max_events=2)
+    assert count == 2
+    assert loop.now == 2.0
+    assert fired == [0, 1]
+    # Resuming honours the original bound and then advances exactly to it.
+    loop.run(until=10.0)
+    assert fired == [0, 1, 2, 3, 4]
+    assert loop.now == 10.0
+
+
 def test_cancelled_events_do_not_fire():
     loop = EventLoop()
     fired = []
-    handle = loop.schedule_at(1.0, lambda: fired.append("cancelled"))
+    handle = loop.schedule_cancellable_at(1.0, lambda: fired.append("cancelled"))
     loop.schedule_at(2.0, lambda: fired.append("kept"))
     handle.cancel()
     assert handle.cancelled
@@ -87,13 +124,72 @@ def test_cancelled_events_do_not_fire():
     assert fired == ["kept"]
 
 
+def test_cancel_is_idempotent_and_pending_stays_consistent():
+    loop = EventLoop()
+    handle = loop.schedule_cancellable(1.0, lambda: None)
+    assert loop.pending == 1
+    handle.cancel()
+    handle.cancel()
+    handle.cancel()
+    assert loop.pending == 0
+    assert loop.run() == 0
+    assert loop.pending == 0
+
+
+def test_cancel_after_fire_is_a_noop():
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule_cancellable_at(1.0, lambda: fired.append("x"))
+    loop.schedule_at(2.0, lambda: fired.append("y"))
+    loop.run(until=1.0)
+    assert fired == ["x"]
+    assert handle.fired
+    # Cancelling an already-fired event must not corrupt the live count.
+    handle.cancel()
+    assert not handle.cancelled
+    assert loop.pending == 1
+    loop.run()
+    assert fired == ["x", "y"]
+
+
+def test_cancel_then_fire_from_within_callback():
+    """An earlier event cancels a later one scheduled at the same time."""
+    loop = EventLoop()
+    fired = []
+    # The canceller is inserted first, so at the shared timestamp it
+    # fires first (ties break by insertion order) and the victim —
+    # already in the heap — must be skipped, not fired.
+    loop.schedule_at(1.0, lambda: victim.cancel())
+    victim = loop.schedule_cancellable_at(1.0, lambda: fired.append("victim"))
+    fired_count = loop.run()
+    assert fired == []
+    assert fired_count == 1  # only the canceller counts
+    assert loop.now == 1.0
+
+
+def test_cancelled_events_do_not_count_toward_max_events():
+    loop = EventLoop()
+    fired = []
+    handles = [
+        loop.schedule_cancellable_at(float(i + 1), lambda i=i: fired.append(i))
+        for i in range(4)
+    ]
+    handles[0].cancel()
+    handles[2].cancel()
+    count = loop.run(max_events=2)
+    assert count == 2
+    assert fired == [1, 3]
+
+
 def test_pending_counts_only_live_events():
     loop = EventLoop()
-    handle = loop.schedule_at(1.0, lambda: None)
+    handle = loop.schedule_cancellable_at(1.0, lambda: None)
     loop.schedule_at(2.0, lambda: None)
     assert loop.pending == 2
     handle.cancel()
     assert loop.pending == 1
+    loop.run()
+    assert loop.pending == 0
 
 
 def test_scheduling_in_the_past_is_rejected():
@@ -104,6 +200,10 @@ def test_scheduling_in_the_past_is_rejected():
         loop.schedule_at(1.0, lambda: None)
     with pytest.raises(MachineError):
         loop.schedule(-0.1, lambda: None)
+    with pytest.raises(MachineError):
+        loop.schedule_cancellable(-0.1, lambda: None)
+    with pytest.raises(MachineError):
+        loop.schedule_cancellable_at(1.0, lambda: None)
 
 
 def test_step_fires_single_event():
@@ -116,3 +216,65 @@ def test_step_fires_single_event():
     assert loop.step() is True
     assert loop.step() is False
     assert fired == ["a", "b"]
+
+
+def test_step_skips_cancelled_events():
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule_cancellable_at(1.0, lambda: fired.append("dead"))
+    loop.schedule_at(2.0, lambda: fired.append("live"))
+    handle.cancel()
+    assert loop.step() is True
+    assert fired == ["live"]
+    assert loop.now == 2.0
+
+
+def test_reentrancy_guard():
+    loop = EventLoop()
+    errors = []
+
+    def reenter():
+        try:
+            loop.run()
+        except MachineError as exc:
+            errors.append(str(exc))
+
+    loop.schedule_at(1.0, reenter)
+    loop.run()
+    assert errors == ["event loop is not reentrant"]
+    # The guard releases afterwards: the loop is usable again.
+    fired = []
+    loop.schedule(1.0, lambda: fired.append("ok"))
+    loop.run()
+    assert fired == ["ok"]
+
+
+def test_reentrancy_guard_releases_after_callback_exception():
+    loop = EventLoop()
+
+    def boom():
+        raise RuntimeError("callback failed")
+
+    loop.schedule_at(1.0, boom)
+    with pytest.raises(RuntimeError):
+        loop.run()
+    loop.schedule(1.0, lambda: None)
+    assert loop.run() == 1
+
+
+def test_profile_counters():
+    loop = EventLoop()
+    for i in range(5):
+        loop.schedule_at(float(i + 1), lambda: None)
+    assert loop.heap_peak == 5
+    handle = loop.schedule_cancellable_at(9.0, lambda: None)
+    handle.cancel()
+    assert loop.heap_peak == 6
+    fired = loop.run()
+    assert fired == 5
+    assert loop.events_fired_total == 5
+    assert loop.pending == 0
+    # Counters accumulate across runs.
+    loop.schedule(1.0, lambda: None)
+    loop.step()
+    assert loop.events_fired_total == 6
