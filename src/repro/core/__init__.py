@@ -5,6 +5,7 @@ from repro.core.allocation import DataAllocationManager
 from repro.core.catalog import Catalog, FragmentInfo, IndexInfo, TableInfo
 from repro.core.database import PrismaDB, Session
 from repro.core.executor import DistributedExecutor, DistRelation, ExecutionReport, Part
+from repro.core.faults import CrashPoint, FaultInjector
 from repro.core.fragmentation import (
     FragmentationScheme,
     HashFragmentation,
@@ -16,7 +17,12 @@ from repro.core.fragmentation import (
 )
 from repro.core.gdh import GlobalDataHandler, SessionState
 from repro.core.locks import LockManager, LockMode, WouldBlock
-from repro.core.recovery import CrashReport, RecoveryManager, RecoveryReport
+from repro.core.recovery import (
+    CrashReport,
+    InDoubtResolution,
+    RecoveryManager,
+    RecoveryReport,
+)
 from repro.core.result import QueryResult
 from repro.core.transactions import Transaction, TransactionManager, TxnState
 from repro.core.twophase import CommitLog, CommitOutcome, TwoPhaseCommit
@@ -25,15 +31,18 @@ __all__ = [
     "Catalog",
     "CommitLog",
     "CommitOutcome",
+    "CrashPoint",
     "CrashReport",
     "DataAllocationManager",
     "DistRelation",
     "DistributedExecutor",
     "ExecutionReport",
+    "FaultInjector",
     "FragmentInfo",
     "FragmentationScheme",
     "GlobalDataHandler",
     "HashFragmentation",
+    "InDoubtResolution",
     "IndexInfo",
     "LockManager",
     "LockMode",

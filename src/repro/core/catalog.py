@@ -109,6 +109,22 @@ class Catalog:
     def table_names(self) -> list[str]:
         return sorted(self._tables)
 
+    def tables(self) -> list[TableInfo]:
+        """All dictionary entries, in name order."""
+        return [self._tables[name] for name in sorted(self._tables)]
+
+    def adopt(self, other: "Catalog") -> None:
+        """Replace this dictionary's contents with *other*'s, in place.
+
+        Restart recovery adopts the durable copy through this: the
+        Catalog *object* is shared by reference with the executor, the
+        binder, and every component the GDH wired up, so the swap must
+        mutate it rather than rebind a private attribute elsewhere.
+        """
+        self._tables.clear()
+        for info in other.tables():
+            self._tables[info.name] = info
+
     def schemas(self) -> dict[str, Schema]:
         """The binder's view: table name -> schema."""
         return {name: info.schema for name, info in self._tables.items()}

@@ -18,8 +18,14 @@ from repro.errors import PrismaError
 from repro.machine.config import MachineConfig, paper_prototype
 from repro.machine.machine import Machine
 from repro.algebra.optimizer import OptimizerOptions
+from repro.core.faults import FaultInjector
 from repro.core.gdh import GlobalDataHandler, SessionState
-from repro.core.recovery import CrashReport, RecoveryManager, RecoveryReport
+from repro.core.recovery import (
+    CrashReport,
+    InDoubtResolution,
+    RecoveryManager,
+    RecoveryReport,
+)
 from repro.core.result import QueryResult
 from repro.pool.runtime import PoolRuntime
 from repro.sql.parser import parse_script
@@ -85,6 +91,10 @@ class PrismaDB:
     default_fragments:
         Fragment count for CREATE TABLE without a FRAGMENTED BY clause
         (hash on the primary key); default is a single fragment.
+    faults:
+        A :class:`~repro.core.faults.FaultInjector` for deterministic
+        crash/failure experiments; a default (never-armed) injector is
+        created when omitted.
     """
 
     def __init__(
@@ -95,6 +105,7 @@ class PrismaDB:
         allow_one_phase: bool = True,
         default_fragments: int | None = None,
         disk_resident: bool = False,
+        faults: FaultInjector | None = None,
     ):
         self.machine = Machine(config or paper_prototype())
         if not self.machine.disk_nodes():
@@ -110,6 +121,7 @@ class PrismaDB:
             allow_one_phase=allow_one_phase,
             default_fragments=default_fragments,
             disk_resident=disk_resident,
+            faults=faults,
         )
         self.recovery = RecoveryManager(self.gdh)
         self._default_session = self.session()
@@ -323,6 +335,38 @@ class PrismaDB:
         """Recover committed state from stable storage."""
         return self.recovery.restart()
 
+    # -- faults ------------------------------------------------------------------------
+
+    @property
+    def faults(self) -> FaultInjector:
+        return self.gdh.faults
+
+    def crash_element(self, node_id: int) -> CrashReport:
+        """Fail one processing element; the surviving system carries on."""
+        return self.recovery.crash_element(node_id)
+
+    def restart_element(self, node_id: int) -> RecoveryReport:
+        """Bring a failed element back and replay its fragment copies."""
+        self.gdh.faults.restore_element(node_id)
+        names = [
+            copy_name
+            for info in self.gdh.catalog.tables()
+            for fragment in info.fragments
+            for copy_node, copy_name in fragment.all_copies()
+            if copy_node == node_id
+        ]
+        return self.recovery.restart_fragments(names)
+
+    def fail_link(self, node_a: int, node_b: int) -> None:
+        self.gdh.faults.fail_link(node_a, node_b)
+
+    def restore_link(self, node_a: int, node_b: int) -> None:
+        self.gdh.faults.restore_link(node_a, node_b)
+
+    def resolve_in_doubt(self) -> InDoubtResolution:
+        """Resolve transactions left hanging by a halted coordinator."""
+        return self.recovery.resolve_in_doubt()
+
     # -- introspection ---------------------------------------------------------------------
 
     @property
@@ -331,9 +375,12 @@ class PrismaDB:
 
     def table_row_count(self, name: str) -> int:
         info = self.gdh.catalog.table(name)
-        return sum(
-            len(self.gdh.fragment_ofms[f.ofm_name].table) for f in info.fragments
-        )
+        total = 0
+        for fragment in info.fragments:
+            ofm = self.gdh._live_copy(fragment)
+            if ofm is not None:
+                total += len(ofm.table)
+        return total
 
     def simulated_time(self) -> float:
         """The machine-wide simulated clock horizon."""

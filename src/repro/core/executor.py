@@ -294,9 +294,16 @@ class DistributedExecutor:
 
         Read load-balancing across fragment copies: pick the copy whose
         element is free earliest (Section 2.2's "same copy" wording —
-        different readers may use different copies).
+        different readers may use different copies).  Copies that died
+        with their element, or that the network can no longer reach
+        from the query process, are skipped — reads fail over to a live
+        replica and only error when no copy at all survives.
         """
         wanted = set(fragment_ids) if fragment_ids is not None else None
+        machine = self.runtime.machine
+        origin = (
+            self._query_process.node_id if self._query_process is not None else 0
+        )
         for fragment in info.fragments:
             if wanted is not None and fragment.fragment_id not in wanted:
                 self._report.fragments_pruned += 1
@@ -310,7 +317,17 @@ class DistributedExecutor:
                 raise ExecutionError(
                     f"fragment OFM {fragment.ofm_name!r} is not running"
                 )
-            yield min(copies, key=lambda c: (c.ready_at, c.name))
+            live = [
+                ofm
+                for ofm in copies
+                if ofm.alive and machine.reachable(origin, ofm.node_id)
+            ]
+            if not live:
+                raise ExecutionError(
+                    f"no live reachable copy of fragment {fragment.fragment_id}"
+                    f" of table {info.name!r}"
+                )
+            yield min(live, key=lambda c: (c.ready_at, c.name))
 
     def _exec_ScanNode(self, plan: ScanNode, fragment_ids: list[int] | None = None) -> DistRelation:
         info = self.catalog.table(plan.table_name)

@@ -24,6 +24,7 @@ from repro.errors import (
     CatalogError,
     DeadlockError,
     PrismaError,
+    TransactionAborted,
     TransactionError,
 )
 from repro.exec.expressions import ColumnRef, Comparison, Literal, conjuncts
@@ -32,6 +33,7 @@ from repro.algebra.plan import PlanNode, ScanNode
 from repro.core.allocation import DataAllocationManager
 from repro.core.catalog import Catalog, FragmentInfo, IndexInfo, TableInfo
 from repro.core.executor import DistributedExecutor
+from repro.core.faults import FaultInjector
 from repro.core.fragmentation import SingleFragment, build_scheme
 from repro.core.locks import LockManager, LockMode
 from repro.core.result import QueryResult
@@ -80,6 +82,7 @@ class GlobalDataHandler:
         allow_one_phase: bool = True,
         default_fragments: int | None = None,
         disk_resident: bool = False,
+        faults: FaultInjector | None = None,
     ):
         self.runtime = runtime
         #: E3 baseline switch: conventional disk-resident storage.
@@ -89,7 +92,13 @@ class GlobalDataHandler:
         self.locks = LockManager()
         self.txns = TransactionManager(self.locks)
         self.commit_log = CommitLog(self.machine, GDH_NODE)
-        self.two_phase = TwoPhaseCommit(runtime, self.commit_log, allow_one_phase)
+        #: Deterministic fault injector; a default (never-armed) one is
+        #: created so the crash-point hooks cost only a None check.
+        self.faults = faults or FaultInjector()
+        self.faults.bind(runtime)
+        self.two_phase = TwoPhaseCommit(
+            runtime, self.commit_log, allow_one_phase, faults=self.faults
+        )
         self.allocator = DataAllocationManager(self.machine, reserve_node=GDH_NODE)
         self.fragment_ofms: dict[str, OneFragmentManager] = {}
         self.compiled_expressions = compiled_expressions
@@ -303,13 +312,58 @@ class GlobalDataHandler:
         )
 
     def fragment_copies(self, info: TableInfo, fragment_id: int):
-        """All live copies (primary first) of one fragment."""
+        """All live copies (primary first) of one fragment.
+
+        Raises rather than returning an empty list: a write routed to a
+        fragment with no live copy must fail loudly, not silently skip
+        the fragment and diverge from the durable state.
+        """
         fragment = info.fragments[fragment_id]
-        return [
+        copies = [
             self.fragment_ofms[ofm_name]
             for _node, ofm_name in fragment.all_copies()
             if ofm_name in self.fragment_ofms
+            and self.fragment_ofms[ofm_name].alive
         ]
+        if not copies:
+            raise TransactionError(
+                f"fragment {fragment_id} of table {info.name!r} has no live"
+                " copy (element down?); restart it before touching this data"
+            )
+        return copies
+
+    def locate_fragment_copy(self, ofm_name: str):
+        """(TableInfo, FragmentInfo, node_id) for a fragment-copy name."""
+        for info in self.catalog.tables():
+            for fragment in info.fragments:
+                for copy_node, copy_name in fragment.all_copies():
+                    if copy_name == ofm_name:
+                        return info, fragment, copy_node
+        raise CatalogError(f"no catalog entry places fragment copy {ofm_name!r}")
+
+    def respawn_fragment_ofm(
+        self, info: TableInfo, ofm_name: str, node_id: int
+    ) -> OneFragmentManager:
+        """Spawn a fresh OFM process for a fragment copy lost to a crash.
+
+        The new process starts empty; the caller replays its durable WAL
+        (same name => same `wal/<name>/...` keys) via
+        :meth:`RecoveryManager.restart_fragments`.
+        """
+        ofm = self.runtime.spawn(
+            OneFragmentManager,
+            name=ofm_name,
+            node=node_id,
+            start_at=self.gdh_process.ready_at,
+            schema=info.schema,
+            profile=OFMProfile.FULL,
+            compiled_expressions=self.compiled_expressions,
+            disk_resident=self.disk_resident,
+        )
+        for index in info.indexes:
+            ofm.create_index(index.name, index.columns, index.unique, index.method)
+        self.fragment_ofms[ofm_name] = ofm
+        return ofm
 
     def _build_index_everywhere(self, info: TableInfo, index: IndexInfo) -> None:
         for fragment in info.fragments:
@@ -408,7 +462,17 @@ class GlobalDataHandler:
     def _commit_txn(self, txn: Transaction, session: SessionState):
         coordinator = self._new_query_process(session, "commit")
         try:
-            outcome = self.two_phase.commit(txn, coordinator)
+            try:
+                outcome = self.two_phase.commit(txn, coordinator)
+            except TransactionAborted:
+                # A participant died during phase one: the protocol
+                # already rolled back the survivors; close the books.
+                self.txns.finish(txn, TxnState.ABORTED, coordinator.ready_at)
+                self._refresh_stats(txn)
+                raise
+            # (An InjectedCrash propagates past this handler entirely:
+            # the coordinator halted, so the transaction stays ACTIVE
+            # with its locks held until resolve_in_doubt or restart.)
             self.txns.finish(txn, TxnState.COMMITTED, coordinator.ready_at)
             self._refresh_stats(txn)
         finally:
@@ -803,12 +867,20 @@ class GlobalDataHandler:
                 continue
             self.refresh_table_stats(name)
 
+    def _live_copy(self, fragment: FragmentInfo) -> OneFragmentManager | None:
+        """First live copy of a fragment (primary preferred), if any."""
+        for _node, copy_name in fragment.all_copies():
+            ofm = self.fragment_ofms.get(copy_name)
+            if ofm is not None and ofm.alive:
+                return ofm
+        return None
+
     def refresh_table_stats(self, name: str, sample_distinct: bool = False) -> None:
         info = self.catalog.table(name)
         row_count = 0
         total_bytes = 0
         for fragment in info.fragments:
-            ofm = self.fragment_ofms.get(fragment.ofm_name)
+            ofm = self._live_copy(fragment)
             if ofm is None:
                 continue
             row_count += len(ofm.table)
@@ -818,7 +890,7 @@ class GlobalDataHandler:
         if sample_distinct and row_count:
             distinct: dict[str, set] = {c.name: set() for c in info.schema.columns}
             for fragment in info.fragments:
-                ofm = self.fragment_ofms.get(fragment.ofm_name)
+                ofm = self._live_copy(fragment)
                 if ofm is None:
                     continue
                 for row in ofm.table.rows():

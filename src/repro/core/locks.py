@@ -58,14 +58,31 @@ def _compatible(requested: LockMode, held: LockMode) -> bool:
 
 
 class LockManager:
-    """S/X locks per fragment, FIFO queues, wait-for-graph deadlock checks."""
+    """S/X locks per fragment, FIFO queues, wait-for-graph deadlock checks.
 
-    def __init__(self):
+    Idle entries are not kept forever: an entry with no holders and no
+    waiters only carries its ``last_release_time`` (the wait floor a
+    future acquirer's clock advances to).  Once that stamp is more than
+    *retain_horizon_s* of simulated time in the past, the floor can no
+    longer move any live requester's clock (``advance_to`` is a max),
+    so the entry is purged — bounding the table under sustained
+    multi-fragment traffic instead of leaking one entry per fragment
+    ever touched.
+    """
+
+    def __init__(self, retain_horizon_s: float = 300.0):
         self._locks: dict[Resource, _LockState] = {}
         #: txn -> set of txns it waits for (live edges only)
         self._wait_for: dict[int, set[int]] = {}
         self.deadlocks_detected = 0
         self.conflicts = 0
+        #: How long an idle entry's release stamp stays relevant; the
+        #: purge is conservative — any transaction whose clock lags the
+        #: latest release by more than this would observe a floor of 0,
+        #: which advance_to() ignores anyway.
+        self.retain_horizon_s = retain_horizon_s
+        self.entries_purged = 0
+        self._last_sweep_time = 0.0
 
     # -- queries ---------------------------------------------------------------
 
@@ -169,14 +186,34 @@ class LockManager:
                 if state.waiters:
                     unblocked.append(resource)
             self._remove_waiter(state, txn_id)
-            if not state.holders and not state.waiters:
-                # Keep the entry (it carries last_release_time) — cheap.
-                pass
         self._clear_waits(txn_id)
         # Remove txn from others' blocker sets.
         for waiting in self._wait_for.values():
             waiting.discard(txn_id)
+        self._sweep_idle_entries(release_time)
         return unblocked
+
+    def _sweep_idle_entries(self, now: float) -> None:
+        """Amortized purge of idle entries past the retain horizon.
+
+        Runs at most once per horizon of simulated time, so release_all
+        stays O(locks held) on average rather than O(all entries ever).
+        """
+        horizon = self.retain_horizon_s
+        if now - self._last_sweep_time < horizon:
+            return
+        self._last_sweep_time = now
+        cutoff = now - horizon
+        stale = [
+            resource
+            for resource, state in self._locks.items()
+            if not state.holders
+            and not state.waiters
+            and state.last_release_time <= cutoff
+        ]
+        for resource in stale:
+            del self._locks[resource]
+        self.entries_purged += len(stale)
 
     def _remove_waiter(self, state: _LockState, txn_id: int) -> None:
         state.waiters = deque(

@@ -1,28 +1,50 @@
 """Crash and restart: the GDH's recovery component (Sections 2.2, 3.2).
 
-A *crash* wipes all volatile state: every fragment table, every
-in-flight transaction, all lock state.  *Restart* rebuilds the system
-from stable storage:
+Three failure shapes are handled:
 
-1. the data dictionary is read back from the GDH's disk;
-2. every durable OFM replays snapshot + WAL, resolving in-doubt
-   (prepared) transactions against the coordinator's commit log —
-   presumed abort for anything the log does not show committed;
-3. fragment statistics are refreshed.
+* **machine-wide crash** (:meth:`RecoveryManager.crash`) wipes all
+  volatile state: every fragment table, every in-flight transaction,
+  all lock state.  :meth:`RecoveryManager.restart` rebuilds from stable
+  storage — data dictionary, then every durable fragment in parallel.
+* **single-element crash** (:meth:`RecoveryManager.crash_element`) — one
+  PE goes down, killing only the OFM copies placed there; transactions
+  that lost a participant abort at the survivors, reads fail over to
+  replica copies, and :meth:`RecoveryManager.restart_fragments` later
+  replays just the lost fragments (catching up from a live sibling copy
+  when one exists, since its WAL missed writes committed during the
+  outage).
+* **coordinator halt** — an injected crash point stopped 2PC mid-flight;
+  :meth:`RecoveryManager.resolve_in_doubt` drives the surviving system:
+  every in-doubt participant is resolved against the durable commit
+  log, with the participant's *own* forced commit record authoritative
+  (the 1PC fast path forces the participant before the coordinator's
+  log entry; restart repairs the log from it, never the reverse).
 
-OFM recoveries run in parallel (one per element), so the simulated
-recovery time is the slowest fragment, not the sum — exactly the
-"automatic recovery upon system failures" the disk-equipped elements
-exist for.
+Cost accounting: the commit-log scan is charged onto the restart
+critical path (`duration_s` = scan + slowest fragment), because no
+fragment can resolve its in-doubt transactions before the scan returns.
+OFM replays themselves run in parallel (one per element), so they
+contribute their maximum, while ``total_work_s`` sums everything.
+
+Both report types carry a :meth:`fingerprint` — a SHA-256 over their
+canonical contents — so the CI determinism gate can diff two same-seed
+runs bit-for-bit.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import RecoveryError
-from repro.core.gdh import GlobalDataHandler
-from repro.ofm.manager import OFMProfile
+from repro.core.gdh import GDH_NODE, GlobalDataHandler
+from repro.core.transactions import TxnState
+from repro.ofm.manager import OFMProfile, OneFragmentManager
+
+
+def _fingerprint(*fields_: object) -> str:
+    return hashlib.sha256(repr(fields_).encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -30,8 +52,24 @@ class CrashReport:
     """What a simulated crash destroyed."""
 
     at_time: float
+    #: "machine" (everything) or "element" (one PE).
+    kind: str = "machine"
+    #: The failed element, for kind="element".
+    node_id: int | None = None
     aborted_transactions: list[int] = field(default_factory=list)
     fragments_lost: int = 0
+    #: Names of processes killed by an element crash (sorted).
+    processes_killed: list[str] = field(default_factory=list)
+
+    def fingerprint(self) -> str:
+        return _fingerprint(
+            self.kind,
+            self.node_id,
+            self.at_time,
+            sorted(self.aborted_transactions),
+            self.fragments_lost,
+            sorted(self.processes_killed),
+        )
 
 
 @dataclass
@@ -40,12 +78,49 @@ class RecoveryReport:
 
     fragments_recovered: int = 0
     rows_restored: int = 0
-    #: Slowest single-fragment recovery (parallel critical path).
+    #: Restart critical path: commit-log scan + slowest single-fragment
+    #: replay (fragment recoveries run in parallel, the scan does not).
     duration_s: float = 0.0
-    #: Sum of all per-fragment recovery costs (total work).
+    #: Sum of all recovery costs (total work, scan included).
     total_work_s: float = 0.0
     committed_outcomes: int = 0
     in_doubt_resolved: int = 0
+    #: Simulated cost of scanning the coordinator's commit log.
+    commit_log_scan_s: float = 0.0
+    #: Commit-log entries rewritten from participants' authoritative
+    #: WAL commit records (1PC crash between the two forces).
+    log_repairs: int = 0
+    #: Fragments whose replayed state was caught up from a live sibling
+    #: copy (their WAL missed writes committed during the outage).
+    replica_catchups: int = 0
+
+    def fingerprint(self) -> str:
+        return _fingerprint(
+            self.fragments_recovered,
+            self.rows_restored,
+            self.duration_s,
+            self.total_work_s,
+            self.committed_outcomes,
+            self.in_doubt_resolved,
+            self.commit_log_scan_s,
+            self.log_repairs,
+            self.replica_catchups,
+        )
+
+
+@dataclass
+class InDoubtResolution:
+    """Outcome of resolving halted-coordinator transactions in place."""
+
+    resolved: int = 0
+    committed: int = 0
+    aborted: int = 0
+    log_repairs: int = 0
+
+    def fingerprint(self) -> str:
+        return _fingerprint(
+            self.resolved, self.committed, self.aborted, self.log_repairs
+        )
 
 
 class RecoveryManager:
@@ -54,6 +129,8 @@ class RecoveryManager:
     def __init__(self, gdh: GlobalDataHandler):
         self.gdh = gdh
 
+    # -- failures -------------------------------------------------------------
+
     def crash(self) -> CrashReport:
         """Lose all volatile state, as a machine-wide failure would."""
         gdh = self.gdh
@@ -61,7 +138,7 @@ class RecoveryManager:
             (process.ready_at for process in gdh.runtime.live_processes()),
             default=0.0,
         )
-        report = CrashReport(at_time=at)
+        report = CrashReport(at_time=at, kind="machine")
         # In-flight transactions simply vanish (their locks with them);
         # undo happens later from the logs, not from volatile chains.
         report.aborted_transactions = sorted(gdh.txns.active)
@@ -75,10 +152,54 @@ class RecoveryManager:
             report.fragments_lost += 1
         return report
 
-    def restart(self) -> RecoveryReport:
-        """Rebuild committed state from stable storage."""
+    def crash_element(self, node_id: int) -> CrashReport:
+        """One PE fails: its processes die, the survivors carry on.
+
+        Transactions that lost a participant are aborted at their live
+        participants (their locks release, so waiting work proceeds);
+        fragment copies on the element leave the registry, so reads
+        fail over to replicas and writes to a copyless fragment error
+        out rather than silently diverging.
+        """
         gdh = self.gdh
-        report = RecoveryReport()
+        if node_id == GDH_NODE:
+            raise RecoveryError(
+                "cannot crash the supervisor element"
+                f" {GDH_NODE}: the GDH and its commit log live there"
+                " (model GDH failure as a machine-wide crash instead)"
+            )
+        report = CrashReport(
+            at_time=gdh.runtime.horizon(), kind="element", node_id=node_id
+        )
+        report.processes_killed = gdh.faults.crash_element(node_id)
+        # Fragment copies on the element lose their volatile state for
+        # good; the registry must stop routing reads/writes to them.
+        dead = sorted(
+            name for name, ofm in gdh.fragment_ofms.items() if not ofm.alive
+        )
+        for name in dead:
+            ofm = gdh.fragment_ofms.pop(name)
+            ofm.halt()
+            report.fragments_lost += 1
+        # Abort every transaction that lost a participant: phase one can
+        # no longer succeed for them, and holding their locks would
+        # stall the surviving elements forever.
+        for txn_id in sorted(gdh.txns.active):
+            txn = gdh.txns.active[txn_id]
+            if all(ofm.alive for ofm in txn.participants.values()):
+                continue
+            report.aborted_transactions.append(txn_id)
+            for ofm in txn.participants.values():
+                if ofm.alive and ofm.has_transaction_state(txn_id):
+                    ofm.abort(txn_id)
+            gdh.txns.finish(txn, TxnState.ABORTED, report.at_time)
+        return report
+
+    # -- restart --------------------------------------------------------------
+
+    def restart(self) -> RecoveryReport:
+        """Rebuild committed state from stable storage (whole machine)."""
+        gdh = self.gdh
 
         # 1. Data dictionary comes back from disk.
         try:
@@ -95,26 +216,194 @@ class RecoveryManager:
                 f"data dictionary mismatch: volatile {sorted(expected)},"
                 f" durable {sorted(recovered)}"
             )
-        # Adopt the durable copy (authoritative after a crash). Fragment
-        # processes are re-bound by name.
-        gdh.catalog._tables = recovered_catalog._tables  # noqa: SLF001
+        # Adopt the durable copy (authoritative after a crash) in place:
+        # the executor/binder share the Catalog object by reference.
+        gdh.catalog.adopt(recovered_catalog)
 
-        outcomes = gdh.commit_log.outcomes()
-        report.committed_outcomes = sum(
-            1 for outcome in outcomes.values() if outcome == "commit"
+        # Element-crashed copies are missing from the registry entirely;
+        # respawn them from the recovered placement before replaying.
+        for info in gdh.catalog.tables():
+            for fragment in info.fragments:
+                for copy_node, copy_name in fragment.all_copies():
+                    if copy_name in gdh.fragment_ofms:
+                        continue
+                    if not gdh.machine.node_is_up(copy_node):
+                        raise RecoveryError(
+                            f"element {copy_node} is still down; restore it"
+                            f" before restarting fragment copy {copy_name!r}"
+                        )
+                    gdh.respawn_fragment_ofm(info, copy_name, copy_node)
+
+        report = self._replay(
+            sorted(
+                name
+                for name, ofm in gdh.fragment_ofms.items()
+                if ofm.profile is OFMProfile.FULL
+            ),
+            catch_up=False,
         )
-
-        # 2. Every durable fragment replays in parallel.
-        for ofm in gdh.fragment_ofms.values():
-            if ofm.profile is not OFMProfile.FULL:
-                continue
-            rows, cost = ofm.recover(gdh.commit_log.outcome_of)
-            report.fragments_recovered += 1
-            report.rows_restored += rows
-            report.total_work_s += cost
-            report.duration_s = max(report.duration_s, cost)
 
         # 3. Statistics refresh for the optimizer.
         for name in gdh.catalog.table_names():
             gdh.refresh_table_stats(name)
         return report
+
+    def restart_fragments(self, names: Sequence[str]) -> RecoveryReport:
+        """Per-fragment restart after an element came back.
+
+        *names* are fragment-copy OFM names (as the catalog records
+        them).  The surviving system kept running, so the volatile
+        dictionary is authoritative and only the named copies replay —
+        then catch up from a live sibling copy where one exists, since
+        the dead copy's WAL missed everything committed during the
+        outage.
+        """
+        gdh = self.gdh
+        for name in names:
+            info, _fragment, copy_node = gdh.locate_fragment_copy(name)
+            ofm = gdh.fragment_ofms.get(name)
+            if ofm is not None and ofm.alive:
+                continue  # already running; replay below is idempotent
+            if not gdh.machine.node_is_up(copy_node):
+                raise RecoveryError(
+                    f"element {copy_node} is down; restore it before"
+                    f" restarting fragment copy {name!r}"
+                )
+            gdh.respawn_fragment_ofm(info, name, copy_node)
+        report = self._replay(sorted(names), catch_up=True)
+        for table_name in sorted(
+            {gdh.locate_fragment_copy(name)[0].name for name in names}
+        ):
+            gdh.refresh_table_stats(table_name)
+        return report
+
+    def _replay(self, names: list[str], catch_up: bool) -> RecoveryReport:
+        """Replay the named fragment copies against the commit log."""
+        gdh = self.gdh
+        report = RecoveryReport()
+
+        outcomes, scan_cost = gdh.commit_log.scan()
+        gdh.gdh_process.charge(scan_cost)
+        report.commit_log_scan_s = scan_cost
+        report.committed_outcomes = sum(
+            1 for outcome in outcomes.values() if outcome == "commit"
+        )
+
+        longest = 0.0
+        for name in names:
+            ofm = gdh.fragment_ofms[name]
+            if ofm.profile is not OFMProfile.FULL:
+                continue
+            rows, cost = ofm.recover(lambda txn: outcomes.get(txn, "abort"))
+            recovery = ofm.last_recovery
+            assert recovery is not None
+            report.in_doubt_resolved += len(recovery.in_doubt)
+            # Participant-authoritative repair: a transaction the WAL
+            # shows durably committed but the log does not (1PC crash
+            # between the participant's force and the coordinator's)
+            # is re-recorded, so later scans — and the sibling copies
+            # replayed after this one — see it committed.
+            for txn_id in recovery.locally_committed:
+                if outcomes.get(txn_id) != "commit":
+                    gdh.gdh_process.charge(gdh.commit_log.record(txn_id, "commit"))
+                    outcomes[txn_id] = "commit"
+                    report.log_repairs += 1
+                    report.committed_outcomes += 1
+            if catch_up:
+                caught_up, catchup_cost = self._catch_up(ofm)
+                if caught_up:
+                    report.replica_catchups += 1
+                    cost += catchup_cost
+                    rows = len(ofm.table)
+            report.fragments_recovered += 1
+            report.rows_restored += rows
+            report.total_work_s += cost
+            longest = max(longest, cost)
+
+        # The scan precedes every (parallel) fragment replay.
+        report.duration_s = scan_cost + longest
+        report.total_work_s += scan_cost
+        return report
+
+    def _catch_up(self, ofm: OneFragmentManager) -> tuple[bool, float]:
+        """Copy state over from a live sibling if the WAL replay is stale.
+
+        Returns (did catch up, simulated cost on the recovering OFM).
+        """
+        gdh = self.gdh
+        _info, fragment, _node = gdh.locate_fragment_copy(ofm.name)
+        sibling = next(
+            (
+                gdh.fragment_ofms[copy_name]
+                for _copy_node, copy_name in fragment.all_copies()
+                if copy_name != ofm.name
+                and copy_name in gdh.fragment_ofms
+                and gdh.fragment_ofms[copy_name].alive
+            ),
+            None,
+        )
+        if sibling is None:
+            return False, 0.0
+        theirs = dict(sibling.table.scan())
+        if dict(ofm.table.scan()) == theirs:
+            return False, 0.0
+        before = ofm.ready_at
+        rows = sorted(theirs.items())
+        ofm.table.truncate()
+        for rid, row in rows:
+            ofm.table.insert_with_rid(rid, row)
+        gdh.runtime.send(sibling, ofm, max(64, sibling.table.data_bytes))
+        ofm.charge(gdh.machine.cpu_time(tuples=len(rows)), tuples=len(rows))
+        if ofm.wal is not None:
+            # Make the caught-up state durable: the stale WAL chunks
+            # must not win the next replay.
+            ofm.charge(ofm.wal.checkpoint(rows))
+        return True, ofm.ready_at - before
+
+    # -- in-doubt resolution ---------------------------------------------------
+
+    def resolve_in_doubt(self) -> InDoubtResolution:
+        """Resolve transactions orphaned by a halted coordinator.
+
+        The machine did not crash — participants are alive, locks are
+        held.  Every active transaction is driven to its correct end:
+        commit if the durable commit log says so *or* any participant's
+        own WAL shows a durable commit (authoritative on the 1PC path;
+        the log is repaired from it), presumed abort otherwise.
+        """
+        gdh = self.gdh
+        result = InDoubtResolution()
+        outcomes, scan_cost = gdh.commit_log.scan()
+        gdh.gdh_process.charge(scan_cost)
+        at = gdh.runtime.horizon()
+        for txn_id in sorted(gdh.txns.active):
+            txn = gdh.txns.active[txn_id]
+            participants = [p for p in txn.participants.values() if p.alive]
+            locally_committed = any(
+                ofm.has_committed(txn_id) for ofm in participants
+            )
+            committed = outcomes.get(txn_id) == "commit" or locally_committed
+            if committed and outcomes.get(txn_id) != "commit":
+                gdh.gdh_process.charge(gdh.commit_log.record(txn_id, "commit"))
+                result.log_repairs += 1
+            if not committed and txn_id not in outcomes:
+                # Presumed abort decides; record it for restart reporting.
+                gdh.gdh_process.charge(gdh.commit_log.record(txn_id, "abort"))
+            for ofm in participants:
+                if not ofm.has_transaction_state(txn_id):
+                    continue
+                if committed:
+                    ofm.commit(txn_id)
+                else:
+                    ofm.abort(txn_id)
+            gdh.txns.finish(
+                txn,
+                TxnState.COMMITTED if committed else TxnState.ABORTED,
+                at,
+            )
+            result.resolved += 1
+            if committed:
+                result.committed += 1
+            else:
+                result.aborted += 1
+        return result

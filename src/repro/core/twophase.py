@@ -18,10 +18,11 @@ from __future__ import annotations
 import ast as _pyast
 from dataclasses import dataclass
 
-from repro.errors import RecoveryError
+from repro.errors import MachineError, RecoveryError, TransactionAborted
 from repro.machine.machine import Machine
 from repro.pool.process import PoolProcess
 from repro.pool.runtime import PoolRuntime
+from repro.core.faults import CrashPoint, FaultInjector
 from repro.core.transactions import Transaction
 
 #: Size of 2PC control messages (prepare / vote / decision / ack).
@@ -51,17 +52,32 @@ class CommitLog:
         )
         return network + self.disk.write(f"gdhlog/{txn_id}", payload, sequential=True)
 
-    def outcomes(self) -> dict[int, str]:
-        """All durable decisions (used by restart recovery)."""
+    def scan(self) -> tuple[dict[int, str], float]:
+        """All durable decisions plus the simulated cost of reading them.
+
+        Restart recovery *must* charge this cost: the commit-log scan
+        sits on the restart critical path before any fragment replay
+        can resolve its in-doubt transactions.
+        """
         result: dict[int, str] = {}
+        cost = 0.0
         for key in self.disk.keys("gdhlog/"):
-            payload, _ = self.disk.read(key, sequential=True)
+            payload, read_cost = self.disk.read(key, sequential=True)
+            cost += read_cost
             try:
                 txn_id, outcome = _pyast.literal_eval(payload.decode("utf-8"))
             except (ValueError, SyntaxError) as exc:
                 raise RecoveryError(f"corrupt commit log entry {key}: {exc}") from None
             result[int(txn_id)] = str(outcome)
-        return result
+        cost += self.machine.transfer_time(
+            self.disk.node, self.coordinator_node, 16 * len(result) + 16
+        )
+        return result, cost
+
+    def outcomes(self) -> dict[int, str]:
+        """All durable decisions (cost-free view; prefer :meth:`scan`)."""
+        outcomes, _ = self.scan()
+        return outcomes
 
     def outcome_of(self, txn_id: int) -> str:
         key = f"gdhlog/{txn_id}"
@@ -82,25 +98,48 @@ class CommitOutcome:
     messages: int
     completed_at: float
     one_phase: bool
+    #: Participants that could not be reached with the decision (they
+    #: were dead; restart recovery resolves them from the commit log).
+    unreached: int = 0
 
 
 class TwoPhaseCommit:
-    """Coordinator-side protocol driver."""
+    """Coordinator-side protocol driver.
+
+    A :class:`~repro.core.faults.FaultInjector` may be threaded in; the
+    protocol then passes every named :class:`CrashPoint` through
+    :meth:`FaultInjector.crash_point`, which raises
+    :class:`~repro.errors.InjectedCrash` when armed — simulating the
+    coordinator halting at exactly that instant.
+
+    Participant death is never silent: a send to a crashed OFM raises
+    :class:`~repro.errors.MachineError`.  During phase one this aborts
+    the transaction (the dead participant resolves to abort at restart,
+    by presumed abort); after the decision is durable it only marks the
+    participant *unreached* — it will learn the outcome from the commit
+    log when its element restarts.
+    """
 
     def __init__(
         self,
         runtime: PoolRuntime,
         commit_log: CommitLog,
         allow_one_phase: bool = True,
+        faults: FaultInjector | None = None,
     ):
         self.runtime = runtime
         self.commit_log = commit_log
         self.allow_one_phase = allow_one_phase
+        self.faults = faults
+
+    def _crash_point(self, point: CrashPoint, txn_id: int) -> None:
+        if self.faults is not None:
+            self.faults.crash_point(point, txn_id)
 
     def commit(self, txn: Transaction, coordinator: PoolProcess) -> CommitOutcome:
-        """Run the protocol; returns the outcome (always commits here —
-        participant vote failures would surface as exceptions from
-        prepare, which the GDH converts into aborts)."""
+        """Run the protocol; commits unless a participant fails during
+        phase one, in which case the transaction is rolled back and
+        :class:`~repro.errors.TransactionAborted` raised."""
         # Read-only participant optimization: fragments the transaction
         # touched but never changed hold no transaction state and need
         # neither votes nor decisions.
@@ -119,40 +158,76 @@ class TwoPhaseCommit:
 
         if len(participants) == 1 and self.allow_one_phase:
             # One-phase: the single participant's force IS the decision.
+            # Its durable commit record is authoritative — the
+            # coordinator's own log entry, written after, is only a
+            # cache (restart repairs the log from the participant when
+            # a crash lands between the two; see RecoveryManager).
             ofm = participants[0]
-            self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
-            ofm.commit(txn.txn_id)
+            self._crash_point(
+                CrashPoint.ONE_PC_BEFORE_PARTICIPANT_COMMIT, txn.txn_id
+            )
+            try:
+                self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
+                ofm.commit(txn.txn_id)
+            except MachineError as exc:
+                self._abort_after_failure(txn, coordinator, exc)
+            self._crash_point(
+                CrashPoint.ONE_PC_AFTER_PARTICIPANT_COMMIT, txn.txn_id
+            )
             arrival = self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES)
             coordinator.advance_to(arrival)
             coordinator.charge(self.commit_log.record(txn.txn_id, "commit"))
+            self._crash_point(CrashPoint.ONE_PC_AFTER_LOG_FORCE, txn.txn_id)
             return CommitOutcome(
                 txn.txn_id, True, 1, 2, coordinator.ready_at, one_phase=True
             )
 
         # Phase one: prepare round.
+        self._crash_point(CrashPoint.TWO_PC_BEFORE_PREPARE, txn.txn_id)
         vote_arrivals = []
+        prepared: list = []
         for ofm in participants:
-            self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
-            ofm.prepare(txn.txn_id)
-            vote_arrivals.append(
-                self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES)
-            )
+            try:
+                self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
+                ofm.prepare(txn.txn_id)
+                vote_arrivals.append(
+                    self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES)
+                )
+            except MachineError as exc:
+                # A dead participant cannot vote: the decision is abort.
+                self._abort_after_failure(txn, coordinator, exc)
+            prepared.append(ofm)
             messages += 2
+            if len(prepared) == 1:
+                self._crash_point(CrashPoint.TWO_PC_MID_PREPARE, txn.txn_id)
         coordinator.advance_to(max(vote_arrivals))
+        self._crash_point(CrashPoint.TWO_PC_AFTER_PREPARE, txn.txn_id)
 
         # Decision: force to the commit log before telling anyone.
         coordinator.charge(self.commit_log.record(txn.txn_id, "commit"))
+        self._crash_point(CrashPoint.TWO_PC_AFTER_LOG_FORCE, txn.txn_id)
 
-        # Phase two: decision + acks.
+        # Phase two: decision + acks.  The decision is durable; dead
+        # participants are merely unreached, not a correctness problem.
         ack_arrivals = []
+        unreached = 0
+        delivered = 0
         for ofm in participants:
-            self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
-            ofm.commit(txn.txn_id)
-            ack_arrivals.append(
-                self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES)
-            )
-            messages += 2
-        coordinator.advance_to(max(ack_arrivals))
+            try:
+                self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
+                ofm.commit(txn.txn_id)
+                ack_arrivals.append(
+                    self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES)
+                )
+                messages += 2
+            except MachineError:
+                unreached += 1
+                continue
+            delivered += 1
+            if delivered == 1:
+                self._crash_point(CrashPoint.TWO_PC_MID_PHASE_TWO, txn.txn_id)
+        if ack_arrivals:
+            coordinator.advance_to(max(ack_arrivals))
         return CommitOutcome(
             txn.txn_id,
             True,
@@ -160,7 +235,28 @@ class TwoPhaseCommit:
             messages,
             coordinator.ready_at,
             one_phase=False,
+            unreached=unreached,
         )
+
+    def _abort_after_failure(
+        self,
+        txn: Transaction,
+        coordinator: PoolProcess,
+        cause: MachineError,
+    ) -> None:
+        """A participant died before the decision: roll back and raise."""
+        coordinator.charge(self.commit_log.record(txn.txn_id, "abort"))
+        for ofm in txn.participants.values():
+            if ofm.alive and ofm.has_transaction_state(txn.txn_id):
+                self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
+                ofm.abort(txn.txn_id)
+                coordinator.advance_to(
+                    self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES)
+                )
+        raise TransactionAborted(
+            f"transaction {txn.txn_id} aborted: participant failed during"
+            f" commit ({cause})"
+        ) from cause
 
     def abort(self, txn: Transaction, coordinator: PoolProcess) -> CommitOutcome:
         """Distribute an abort decision and undo at every participant."""
@@ -170,13 +266,27 @@ class TwoPhaseCommit:
             if ofm.has_transaction_state(txn.txn_id)
         ]
         messages = 0
+        self._crash_point(CrashPoint.ABORT_BEFORE_LOG, txn.txn_id)
         coordinator.charge(self.commit_log.record(txn.txn_id, "abort"))
         arrivals = [coordinator.ready_at]
+        unreached = 0
+        undone = 0
         for ofm in participants:
-            self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
-            ofm.abort(txn.txn_id)
-            arrivals.append(self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES))
-            messages += 2
+            try:
+                self.runtime.send(coordinator, ofm, CONTROL_MESSAGE_BYTES)
+                ofm.abort(txn.txn_id)
+                arrivals.append(
+                    self.runtime.send(ofm, coordinator, CONTROL_MESSAGE_BYTES)
+                )
+                messages += 2
+            except MachineError:
+                # A dead participant's volatile effects died with it;
+                # restart replays nothing for an aborted transaction.
+                unreached += 1
+                continue
+            undone += 1
+            if undone == 1:
+                self._crash_point(CrashPoint.ABORT_MID_UNDO, txn.txn_id)
         coordinator.advance_to(max(arrivals))
         return CommitOutcome(
             txn.txn_id,
@@ -185,4 +295,5 @@ class TwoPhaseCommit:
             messages,
             coordinator.ready_at,
             one_phase=False,
+            unreached=unreached,
         )

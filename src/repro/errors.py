@@ -119,6 +119,41 @@ class TopologyError(MachineError):
     """An interconnect topology violates its structural constraints."""
 
 
+class ProcessCrashed(MachineError):
+    """A message or CPU charge targeted a process killed by a fault.
+
+    Distinct from orderly termination: a crashed process lost its
+    volatile state and the sender must treat the peer as failed (2PC
+    converts this into an abort or an unreached participant, never
+    silence).
+    """
+
+
+class LinkDownError(MachineError):
+    """No route exists between two elements under the current faults.
+
+    Raised by :meth:`~repro.machine.machine.Machine.transfer_time` when
+    failed links/elements disconnect the source from the destination.
+    """
+
+
+class InjectedCrash(Exception):  # noqa: N818 -- event, not an "...Error" condition
+    """A :class:`~repro.core.faults.FaultInjector` crash point fired.
+
+    Deliberately *not* a :class:`PrismaError`: an injected coordinator
+    halt must unwind through every engine-level error handler (which
+    would otherwise convert it into a tidy abort) and reach the test
+    harness, leaving the system exactly as the crash left it —
+    in-doubt participants, held locks and all.
+    """
+
+    def __init__(self, point: str, txn_id: int | None = None):
+        detail = f" (txn {txn_id})" if txn_id is not None else ""
+        super().__init__(f"injected crash at {point}{detail}")
+        self.point = point
+        self.txn_id = txn_id
+
+
 class MessageOwnershipError(MachineError):
     """A message payload was mutated between send and delivery.
 

@@ -16,7 +16,9 @@ in two modes:
 
 from __future__ import annotations
 
-from repro.errors import MachineError
+from collections import deque
+
+from repro.errors import LinkDownError, MachineError
 from repro.machine.config import MachineConfig
 from repro.machine.disk import Disk
 from repro.machine.node import ProcessingElement
@@ -45,6 +47,13 @@ class Machine:
                 ProcessingElement(node_id, self.config.memory_bytes, disk)
             )
         self._nearest_disk: list[int] = self._compute_nearest_disks()
+        # Fault state: failed elements / directed-link pairs.  Empty in
+        # the fault-free case, so the analytic hot path pays only two
+        # truthiness checks.  Routes under faults are recomputed by BFS
+        # and memoized until the fault set changes.
+        self._down_nodes: set[int] = set()
+        self._down_links: set[tuple[int, int]] = set()
+        self._fault_hops: dict[tuple[int, int], int] = {}
 
     # -- structure ------------------------------------------------------------
 
@@ -82,6 +91,79 @@ class Machine:
             raise MachineError("machine has no disk-equipped processing elements")
         return nearest
 
+    # -- faults ----------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Take a processing element down (its links go with it)."""
+        self.node(node_id)  # validates
+        self._down_nodes.add(node_id)
+        self._fault_hops.clear()
+
+    def restore_node(self, node_id: int) -> None:
+        self.node(node_id)
+        self._down_nodes.discard(node_id)
+        self._fault_hops.clear()
+
+    def fail_link(self, u: int, v: int) -> None:
+        """Fail the (bidirectional) link between two adjacent elements."""
+        if v not in self.topology.neighbors(u):
+            raise MachineError(f"no link between elements {u} and {v}")
+        self._down_links.add((u, v))
+        self._down_links.add((v, u))
+        self._fault_hops.clear()
+
+    def restore_link(self, u: int, v: int) -> None:
+        self._down_links.discard((u, v))
+        self._down_links.discard((v, u))
+        self._fault_hops.clear()
+
+    def node_is_up(self, node_id: int) -> bool:
+        return node_id not in self._down_nodes
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(self._down_nodes) or bool(self._down_links)
+
+    def _hops_under_faults(self, source: int, destination: int) -> int:
+        """Shortest path length avoiding down elements/links, -1 if cut.
+
+        Memoized per (source, destination) until the fault set changes;
+        deterministic (BFS expands neighbors in topology order).
+        """
+        cached = self._fault_hops.get((source, destination))
+        if cached is not None:
+            return cached
+        down_nodes = self._down_nodes
+        down_links = self._down_links
+        if source in down_nodes or destination in down_nodes:
+            self._fault_hops[(source, destination)] = -1
+            return -1
+        distance = {source: 0}
+        frontier = deque([source])
+        hops = -1
+        while frontier:
+            node = frontier.popleft()
+            if node == destination:
+                hops = distance[node]
+                break
+            for neighbor in self.topology.neighbors(node):
+                if (
+                    neighbor in distance
+                    or neighbor in down_nodes
+                    or (node, neighbor) in down_links
+                ):
+                    continue
+                distance[neighbor] = distance[node] + 1
+                frontier.append(neighbor)
+        self._fault_hops[(source, destination)] = hops
+        return hops
+
+    def reachable(self, source: int, destination: int) -> bool:
+        """Can *source* currently reach *destination*?"""
+        if not self.has_faults or source == destination:
+            return source not in self._down_nodes
+        return self._hops_under_faults(source, destination) >= 0
+
     # -- analytic cost model ----------------------------------------------------
 
     def transfer_time(self, source: int, destination: int, n_bytes: int) -> float:
@@ -97,7 +179,16 @@ class Machine:
         if source == destination or n_bytes <= 0:
             return 0.0
         config = self.config
-        hops = self.router.hops(source, destination)
+        if self._down_nodes or self._down_links:
+            hops = self._hops_under_faults(source, destination)
+            if hops < 0:
+                raise LinkDownError(
+                    f"no route from element {source} to {destination}:"
+                    f" down elements {sorted(self._down_nodes)},"
+                    f" down links {sorted(self._down_links)}"
+                )
+        else:
+            hops = self.router.hops(source, destination)
         packets = config.packets_for_bytes(n_bytes)
         service = config.packet_service_time_s
         pipeline_fill = hops * (service + config.switch_delay_s)

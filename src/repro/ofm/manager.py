@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import enum
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 
 from repro.errors import ExecutionError, InvalidTransactionState
 from repro.exec.evaluation import Evaluator
@@ -55,6 +56,30 @@ class OFMProfile(enum.Enum):
     QUERY = "query"
 
 
+@dataclass
+class FragmentRecovery:
+    """What one fragment's replay found (kept as ``ofm.last_recovery``)."""
+
+    rows: int = 0
+    cost: float = 0.0
+    #: Transactions the local WAL shows durably committed.
+    locally_committed: tuple[int, ...] = ()
+    #: Prepared-but-undecided transactions that had to be resolved
+    #: against the coordinator's commit log.
+    in_doubt: tuple[int, ...] = ()
+    #: Their resolutions, in the same order ("commit"/"abort").
+    in_doubt_outcomes: tuple[str, ...] = ()
+
+    def fingerprint_data(self) -> tuple:
+        return (
+            self.rows,
+            round(self.cost, 12),
+            self.locally_committed,
+            self.in_doubt,
+            self.in_doubt_outcomes,
+        )
+
+
 class OneFragmentManager(PoolProcess):
     """A customized database system for exactly one relation fragment."""
 
@@ -84,6 +109,13 @@ class OneFragmentManager(PoolProcess):
         #: Per-transaction undo chains (volatile; WAL is the durable copy).
         self._undo: dict[int, list] = {}
         self._prepared: set[int] = set()
+        #: Transactions this OFM has durably committed (volatile mirror
+        #: of the WAL's forced CommitRecords; rebuilt by recover()).
+        #: In-doubt resolution consults it: a participant's own commit
+        #: record is authoritative, e.g. on the 1PC fast path.
+        self._committed: set[int] = set()
+        #: Filled by recover(): what the last replay found.
+        self.last_recovery: FragmentRecovery | None = None
 
     # -- helpers ------------------------------------------------------------------
 
@@ -220,9 +252,18 @@ class OneFragmentManager(PoolProcess):
             self.charge(self.wal.force())
         self._undo.pop(txn_id, None)
         self._prepared.discard(txn_id)
+        self._committed.add(txn_id)
 
     def abort(self, txn_id: int) -> None:
-        """Undo the transaction's local effects, newest first."""
+        """Undo the transaction's local effects, newest first.
+
+        A transaction without local state here is a no-op — crucially,
+        one this OFM already *committed* must not get an AbortRecord
+        appended after its CommitRecord (a halted-coordinator cleanup
+        could otherwise flip a durably committed 1PC transaction to
+        aborted at the next replay)."""
+        if txn_id not in self._undo and txn_id not in self._prepared:
+            return
         chain = self._undo.pop(txn_id, [])
         for entry in reversed(chain):
             action = entry[0]
@@ -244,6 +285,14 @@ class OneFragmentManager(PoolProcess):
 
     def has_transaction_state(self, txn_id: int) -> bool:
         return txn_id in self._undo or txn_id in self._prepared
+
+    def has_committed(self, txn_id: int) -> bool:
+        """Did this OFM durably commit *txn_id*?  Authoritative for 1PC."""
+        return txn_id in self._committed
+
+    def in_doubt_transactions(self) -> list[int]:
+        """Prepared transactions with no local decision yet (sorted)."""
+        return sorted(self._prepared)
 
     # -- query processing --------------------------------------------------------------------
 
@@ -401,8 +450,26 @@ class OneFragmentManager(PoolProcess):
         self.table.truncate()
         self._undo.clear()
         self._prepared.clear()
+        self._committed.clear()
         if self.wal is not None:
             # Unforced records are volatile and die with the crash.
+            self.wal._buffer.clear()
+
+    def halt(self) -> None:
+        """This OFM's element failed: volatile state is gone for good.
+
+        Unlike :meth:`crash` (whole-machine failure, where restart
+        replays into the *same* process object) the process itself is
+        dead — restart spawns a successor under the same name.  Release
+        the memory reservation so the successor can re-account it;
+        durable WAL chunks and snapshots survive on the disk elements.
+        """
+        self.table.truncate()
+        self.table.release_memory()
+        self._undo.clear()
+        self._prepared.clear()
+        self._committed.clear()
+        if self.wal is not None:
             self.wal._buffer.clear()
 
     def recover(self, outcome_of: Callable[[int], str]) -> tuple[int, float]:
@@ -419,28 +486,36 @@ class OneFragmentManager(PoolProcess):
         self.table.truncate()
         self._undo.clear()
         self._prepared.clear()
+        self._committed.clear()
         snapshot, cost = self.wal.read_snapshot()
         for rid, row in snapshot:
             self.table.insert_with_rid(rid, row)
         records, read_cost = self.wal.read_records()
         cost += read_cost
-        # Pass 1: determine local outcomes from the log itself.
+        # Pass 1: determine local outcomes from the log itself.  A
+        # forced CommitRecord is final: a stray AbortRecord written
+        # later (e.g. a cleanup sweep after the coordinator halted
+        # mid-1PC) must never flip a durably committed transaction.
         locally_decided: dict[int, str] = {}
         prepared: set[int] = set()
         for record in records:
             if isinstance(record, CommitRecord):
                 locally_decided[record.txn_id] = "commit"
             elif isinstance(record, AbortRecord):
-                locally_decided[record.txn_id] = "abort"
+                locally_decided.setdefault(record.txn_id, "abort")
             elif isinstance(record, PrepareRecord):
                 prepared.add(record.txn_id)
+        in_doubt = sorted(
+            txn_id for txn_id in prepared if txn_id not in locally_decided
+        )
+        resolutions = {txn_id: str(outcome_of(txn_id)) for txn_id in in_doubt}
 
         def decide(txn_id: int) -> str:
             if txn_id in locally_decided:
                 return locally_decided[txn_id]
-            if txn_id in prepared:
-                # In doubt: ask the coordinator's durable decision.
-                return outcome_of(txn_id)
+            if txn_id in resolutions:
+                # In doubt: the coordinator's durable decision rules.
+                return resolutions[txn_id]
             return "abort"  # never prepared: presumed abort
 
         # Pass 2: redo the effects of committed transactions in order.
@@ -458,6 +533,27 @@ class OneFragmentManager(PoolProcess):
                     self.table.update(record.rid, record.new_row)
                 else:
                     self.table.insert_with_rid(record.rid, record.new_row)
+        self._committed = {
+            txn_id
+            for txn_id, outcome in locally_decided.items()
+            if outcome == "commit"
+        }
+        self._committed.update(
+            txn_id for txn_id, outcome in resolutions.items() if outcome == "commit"
+        )
+        self.last_recovery = FragmentRecovery(
+            rows=len(self.table),
+            cost=cost,
+            locally_committed=tuple(
+                sorted(
+                    txn_id
+                    for txn_id, outcome in locally_decided.items()
+                    if outcome == "commit"
+                )
+            ),
+            in_doubt=tuple(in_doubt),
+            in_doubt_outcomes=tuple(resolutions[txn_id] for txn_id in in_doubt),
+        )
         self.charge(cost)
         self._charge_meter(WorkMeter(tuples=len(records) + len(snapshot)))
         return len(self.table), cost

@@ -17,8 +17,20 @@ from repro.errors import AllocationError
 from repro.machine.machine import Machine
 
 
+def _up_nodes(machine: Machine) -> list[int]:
+    """Elements that can host a new process (down elements excluded)."""
+    nodes = [n for n in range(machine.n_nodes) if machine.node_is_up(n)]
+    if not nodes:
+        raise AllocationError("every processing element is down")
+    return nodes
+
+
 class PlacementPolicy:
-    """Chooses a processing element for each newly spawned process."""
+    """Chooses a processing element for each newly spawned process.
+
+    Policies never place onto a failed element: a crashed PE hosts no
+    new processes until it is restored.
+    """
 
     def choose(self, machine: Machine) -> int:
         raise NotImplementedError
@@ -39,6 +51,8 @@ class Pinned(PlacementPolicy):
             raise AllocationError(
                 f"pinned node {self.node_id} outside machine of {machine.n_nodes}"
             )
+        if not machine.node_is_up(self.node_id):
+            raise AllocationError(f"pinned node {self.node_id} is down")
         return self.node_id
 
 
@@ -50,11 +64,15 @@ class RoundRobin(PlacementPolicy):
         self._counter = itertools.count(start)
 
     def choose(self, machine: Machine) -> int:
-        pool = self._nodes if self._nodes is not None else range(machine.n_nodes)
-        pool = list(pool)
+        pool = (
+            list(self._nodes) if self._nodes is not None else _up_nodes(machine)
+        )
         if not pool:
             raise AllocationError("round-robin placement over an empty node set")
-        return pool[next(self._counter) % len(pool)]
+        choice = pool[next(self._counter) % len(pool)]
+        if not machine.node_is_up(choice):
+            raise AllocationError(f"round-robin node {choice} is down")
+        return choice
 
 
 class LeastLoaded(PlacementPolicy):
@@ -62,7 +80,7 @@ class LeastLoaded(PlacementPolicy):
 
     def choose(self, machine: Machine) -> int:
         return min(
-            range(machine.n_nodes),
+            _up_nodes(machine),
             key=lambda n: (machine.node(n).stats.busy_time_s, n),
         )
 
@@ -72,14 +90,14 @@ class MostFreeMemory(PlacementPolicy):
 
     def choose(self, machine: Machine) -> int:
         return max(
-            range(machine.n_nodes),
+            _up_nodes(machine),
             key=lambda n: (machine.node(n).memory.available, -n),
         )
 
     def choose_many(self, machine: Machine, count: int) -> list[int]:
         # Spread over distinct elements first, by free memory.
         ranked = sorted(
-            range(machine.n_nodes),
+            _up_nodes(machine),
             key=lambda n: (-machine.node(n).memory.available, n),
         )
         chosen = []
@@ -95,7 +113,11 @@ class DiskNodes(PlacementPolicy):
         self._counter = itertools.count()
 
     def choose(self, machine: Machine) -> int:
-        disks = [pe.node_id for pe in machine.disk_nodes()]
+        disks = [
+            pe.node_id
+            for pe in machine.disk_nodes()
+            if machine.node_is_up(pe.node_id)
+        ]
         if not disks:
-            raise AllocationError("machine has no disk-equipped elements")
+            raise AllocationError("machine has no live disk-equipped elements")
         return disks[next(self._counter) % len(disks)]

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import MachineError
+from repro.errors import MachineError, ProcessCrashed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.pool.runtime import PoolRuntime
@@ -44,6 +44,9 @@ class PoolProcess:
         #: Simulated time at which this process becomes idle.
         self.ready_at = 0.0
         self.alive = True
+        #: Set when the process died to a fault (element crash / kill)
+        #: rather than orderly termination; volatile state is gone.
+        self.failed = False
         self.messages_handled = 0
 
     # -- simulated-time accounting -----------------------------------------
@@ -56,6 +59,8 @@ class PoolProcess:
         if seconds < 0:
             raise MachineError(f"negative work: {seconds}")
         if not self.alive:
+            if self.failed:
+                raise ProcessCrashed(f"process {self.name!r} crashed")
             raise MachineError(f"process {self.name!r} is terminated")
         self.ready_at += seconds
         self.runtime.machine.node(self.node_id).charge(seconds, tuples)

@@ -15,7 +15,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
-from repro.errors import MachineError, MessageOwnershipError
+from repro.errors import MachineError, MessageOwnershipError, ProcessCrashed
 from repro.machine.config import MachineConfig
 from repro.machine.events import EventLoop
 from repro.machine.machine import Machine
@@ -37,9 +37,12 @@ class RuntimeStats:
 
     processes_spawned: int = 0
     processes_terminated: int = 0
+    processes_killed: int = 0
     messages: int = 0
     bytes_moved: int = 0
     local_messages: int = 0
+    #: Reactive-style messages whose receiver was dead at delivery.
+    dead_letters: int = 0
 
 
 def _sanitize_from_env() -> bool:
@@ -126,6 +129,35 @@ class PoolRuntime:
         self._processes.pop(process.name, None)
         self.stats.processes_terminated += 1
 
+    def kill(self, process: PoolProcess) -> None:
+        """Fault-kill a process: it dies with its volatile state.
+
+        Unlike :meth:`terminate` the death is marked as a *failure*, so
+        later sends to it raise :class:`~repro.errors.ProcessCrashed`
+        instead of a generic lifecycle error.  The name becomes
+        reusable — restart respawns a fresh process under it.
+        """
+        process.alive = False  # prismalint: disable=PL003 -- runtime owns lifecycle
+        process.failed = True  # prismalint: disable=PL003 -- runtime owns lifecycle
+        self._processes.pop(process.name, None)
+        self.stats.processes_killed += 1
+
+    def crash_node(self, node_id: int) -> list[str]:
+        """Kill every live process placed on one element; returns names.
+
+        The machine-level element failure (routing) is the caller's
+        responsibility (:meth:`~repro.machine.machine.Machine.fail_node`
+        — usually driven through a fault injector).
+        """
+        victims = sorted(
+            name
+            for name, process in self._processes.items()
+            if process.node_id == node_id
+        )
+        for name in victims:
+            self.kill(self._processes[name])
+        return victims
+
     def process(self, name: str) -> PoolProcess:
         try:
             return self._processes[name]
@@ -153,6 +185,18 @@ class PoolRuntime:
         """
         if n_bytes < 0:
             raise MachineError(f"negative message size: {n_bytes}")
+        # Dead peers are an error, not silence: a sender must learn its
+        # message had nowhere to go (2PC turns this into abort/unreached).
+        if not receiver.alive:
+            if receiver.failed:
+                raise ProcessCrashed(
+                    f"cannot send from {sender.name!r} to {receiver.name!r}:"
+                    " receiver crashed"
+                )
+            raise MachineError(
+                f"cannot send from {sender.name!r} to {receiver.name!r}:"
+                " receiver is terminated"
+            )
         departure = sender.charge(SEND_OVERHEAD_S)
         if depart_at is not None:
             departure = max(departure, depart_at)
@@ -206,6 +250,9 @@ class PoolRuntime:
 
         def deliver() -> None:
             if not receiver.alive:
+                # The receiver died in flight; count the loss instead of
+                # dropping it invisibly (senders poll stats.dead_letters).
+                self.stats.dead_letters += 1
                 return
             if fingerprint is not None:
                 mutated = first_divergence(fingerprint, payload)

@@ -164,3 +164,55 @@ class TestDeadlocks:
         locks.acquire(1, R2, S)
         locks.acquire(2, R1, S)  # all compatible
         assert locks.deadlocks_detected == 0
+
+
+class TestIdleEntryPurge:
+    """Regression: release_all must not leak one _LockState per
+    fragment ever touched (unbounded growth under multi-fragment
+    traffic).  Idle entries past the retain horizon are purged."""
+
+    def test_idle_entries_purged_past_horizon(self):
+        locks = LockManager(retain_horizon_s=10.0)
+        for txn in range(200):
+            resource = ("t", txn)  # a different fragment every time
+            locks.acquire(txn, resource, X)
+            locks.release_all(txn, float(txn))
+        # Sweeps ran as simulated time passed; old idle entries are gone.
+        assert locks.entries_purged > 0
+        assert len(locks._locks) < 200
+
+    def test_recent_entries_survive_the_sweep(self):
+        locks = LockManager(retain_horizon_s=10.0)
+        locks.acquire(1, R1, X)
+        locks.release_all(1, 100.0)
+        # R1's release stamp is recent relative to the next sweep time.
+        locks.acquire(2, R2, X)
+        locks.release_all(2, 105.0)
+        locks.acquire(3, R3, X)
+        locks.release_all(3, 120.0)  # sweep fires; cutoff = 110
+        assert R1 not in locks._locks and R2 not in locks._locks
+        # Entries released within the horizon keep their wait floor.
+        state = locks._locks.get(R3)
+        assert state is not None and state.last_release_time == 120.0
+
+    def test_held_and_waited_entries_never_purged(self):
+        locks = LockManager(retain_horizon_s=1.0)
+        locks.acquire(1, R1, X)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, R1, X)
+        locks.acquire(3, R2, X)
+        locks.release_all(3, 1000.0)  # sweep fires far in the future
+        state = locks._locks[R1]
+        assert 1 in state.holders  # still held: survived
+        assert state.waiters  # still waited on: survived
+
+    def test_purged_floor_is_safe(self):
+        """A purged entry re-acquires with floor 0.0 — harmless, since
+        any live requester's clock is already past the old release time
+        (advance_to is a max)."""
+        locks = LockManager(retain_horizon_s=5.0)
+        locks.acquire(1, R1, X)
+        locks.release_all(1, 3.0)
+        locks.acquire(2, R2, X)
+        locks.release_all(2, 50.0)  # sweeps R1's idle entry
+        assert locks.acquire(3, R1, X) == 0.0
