@@ -140,3 +140,60 @@ def test_e5_simulated_query_cost(benchmark):
     )
     assert interpreted_time > compiled_time
     benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+
+
+def test_e5_compiler_cache_hit_rate(benchmark):
+    """E5c — structurally equal predicates share one compiled routine.
+
+    The compiler cache is keyed by the expression's *structural* hash,
+    so re-running the same statement text (a fresh parse and plan every
+    time) must hit the cache after the first execution.
+    """
+    config = MachineConfig(n_nodes=8, disk_nodes=(0,))
+    db = PrismaDB(config)
+    load_wisconsin(db, "wisc", 1000, fragments=4)
+    cache = db.gdh.executor.evaluator.cache
+    statements = [
+        "SELECT COUNT(*) FROM wisc WHERE unique1 % 97 < 31 AND ten = 3",
+        "SELECT onepercent, SUM(unique1) FROM wisc GROUP BY onepercent",
+        "SELECT COUNT(*) FROM wisc WHERE stringu1 LIKE 'A%A'",
+    ]
+    samples = []
+    repeats = 10
+    for statement in statements:
+        label = statement.split("FROM")[0].strip()[:40]
+        before = cache.stats()
+        db.execute(statement)
+        after_first = cache.stats()
+        for _ in range(repeats - 1):
+            db.execute(statement)
+        after = cache.stats()
+        samples.append(
+            (
+                label,
+                int(after_first["compilations"] - before["compilations"]),
+                int(after["compilations"] - after_first["compilations"]),
+                int(after["hits"] - before["hits"]),
+            )
+        )
+    report(
+        "E5c",
+        f"compiler cache over {repeats} repeats of each statement"
+        f" (overall hit rate {cache.hit_rate:.0%})",
+        ["statement", "first-run compiles", "repeat compiles", "hits"],
+        [
+            (label, str(first), str(rest), str(hits))
+            for label, first, rest, hits in samples
+        ],
+        notes=(
+            "Each shape compiles during its first execution only; every"
+            " repeat is served from the structural-hash cache."
+        ),
+    )
+    for label, first_compilations, repeat_compilations, hits in samples:
+        assert repeat_compilations == 0, label
+        assert hits >= (repeats - 1) * first_compilations, label
+    assert cache.hit_rate > 0.5
+    benchmark.pedantic(
+        lambda: db.execute(statements[0]), rounds=3, iterations=1
+    )

@@ -1,30 +1,36 @@
-"""Performance-regression gate for the discrete-event hot path.
+"""Performance-regression gate for the simulator AND executor hot paths.
 
-Times the E1 acceptance point — 64-PE mesh, 20,000 packets/s/PE offered
-load, 0.01 s warmup + 0.02 s measurement window, seed 17 — and compares
-against the committed baseline in ``benchmarks/perf_baseline.json``.
+Two families of benchmarks, both compared against the committed
+baseline in ``benchmarks/perf_baseline.json``:
 
-Two gates:
+* **network** — the E1 acceptance point of the discrete-event core
+  (64-PE mesh, 20,000 packets/s/PE offered load, 0.01 s warmup + 0.02 s
+  measurement window, seed 17).  Gates on events fired (machine
+  independent) and wall clock.
+* **executor** — the query-execution hot path (ISSUE 4): the E4
+  fragment-parallel query set, the E6/A3 distributed transitive
+  closure, and the E8 multi-query bank mix.  Each gates on wall clock
+  and on a *determinism fingerprint* (result-row digests, simulated
+  response times, message/byte counts, busy-time totals): the executor
+  rewrite must be bit-identical, so any fingerprint drift fails CI the
+  same way a changed network stat does.
 
-* **events fired** (machine-independent): the simulation is
-  deterministic, so the event count catches algorithmic regressions —
-  e.g. re-introducing a second event per hop — regardless of host
-  speed.  Fails when the count exceeds the baseline by >5 %.
-* **wall clock**: fails when the best-of-N wall time regresses by more
-  than ``PERF_GATE_MAX_REGRESSION`` (default 0.30, i.e. 30 %) against
-  the committed baseline.  Absolute wall time varies across hosts; CI
-  runners and the baseline machine are assumed comparable, and the
-  threshold absorbs the rest.  ``--no-wall-gate`` (or setting the env
-  var to a huge value) keeps the report without failing.
+Wall-clock gates fail when the best-of-N wall time regresses by more
+than ``PERF_GATE_MAX_REGRESSION`` (default 0.30, i.e. 30 %) against the
+committed baseline.  Absolute wall time varies across hosts; CI runners
+and the baseline machine are assumed comparable, and the threshold
+absorbs the rest.  ``--no-wall-gate`` keeps the report without failing.
 
-The measured stats are also checked against the baseline's pinned
-fingerprint (injected / delivered counts): a mismatch means simulation
-*results* changed, in which case the perf baseline and the golden
-files under ``tests/golden/`` must be regenerated deliberately.
+Fingerprints are exact: a mismatch means simulation *results* changed,
+in which case the perf baseline (and the golden files under
+``tests/golden/``) must be regenerated deliberately, in a commit that
+argues for the new numbers.
 
 Run::
 
-    python benchmarks/perf_gate.py                 # measure + gate
+    python benchmarks/perf_gate.py                 # measure + gate all
+    python benchmarks/perf_gate.py --suite network
+    python benchmarks/perf_gate.py --suite executor
     python benchmarks/perf_gate.py --update-baseline
 
 Writes ``benchmarks/results/bench_perf.json`` either way.
@@ -33,6 +39,7 @@ Writes ``benchmarks/results/bench_perf.json`` either way.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import pathlib
@@ -45,9 +52,17 @@ SRC = HERE.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.machine import MachineConfig, PacketNetwork  # noqa: E402
+from repro import MachineConfig, PrismaDB  # noqa: E402
+from repro.machine import PacketNetwork  # noqa: E402
+from repro.core.workload import InterleavedDriver  # noqa: E402
 from repro.machine.profile import LoopProfiler  # noqa: E402
 from repro.machine.traffic import run_load_point  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    load_edges,
+    load_wisconsin,
+    random_dag,
+    setup_bank,
+)
 
 BASELINE_PATH = HERE / "perf_baseline.json"
 RESULTS_PATH = HERE / "results" / "bench_perf.json"
@@ -62,8 +77,57 @@ GATE_POINT = {
     "seed": 17,
 }
 
+#: Executor gate points (ISSUE 4).  Workload sizes are chosen so every
+#: bench runs long enough to time reliably but stays under a few
+#: seconds pre-rewrite.
+EXEC_E4 = {
+    "n_nodes": 64,
+    "disk_nodes": (0, 32),
+    "rows": 12_000,
+    "fragments": 8,
+    "seed": 42,
+    # selection, two-phase aggregate, co-partitioned join, repartition
+    # join (unique1 is NOT the fragmentation column), distinct shuffle.
+    "queries": [
+        "SELECT COUNT(*) FROM wisc WHERE fiftypercent = 0",
+        "SELECT ten, SUM(unique1) FROM wisc GROUP BY ten",
+        "SELECT COUNT(*) FROM wisc a JOIN wisc b ON a.unique2 = b.unique2",
+        "SELECT COUNT(*) FROM wisc a JOIN wisc b ON a.unique1 = b.unique1",
+        "SELECT DISTINCT onepercent FROM wisc",
+    ],
+}
+EXEC_CLOSURE = {
+    "n_nodes": 32,
+    "disk_nodes": (0,),
+    "vertices": 500,
+    "edges": 3_000,
+    "seed": 9,
+    "fragments": 8,
+}
+EXEC_E8 = {
+    "n_nodes": 32,
+    "disk_nodes": (0, 16),
+    "accounts": 64,
+    "fragments": 16,
+    "clients": 16,
+    "txns_per_client": 6,
+}
 
-def measure_once() -> dict:
+
+def _digest(value) -> str:
+    return hashlib.sha256(repr(value).encode()).hexdigest()[:16]
+
+
+def _busy_total(db: PrismaDB) -> str:
+    return repr(sum(node.stats.busy_time_s for node in db.machine.nodes))
+
+
+# ---------------------------------------------------------------------------
+# Network suite (E1).
+# ---------------------------------------------------------------------------
+
+
+def measure_network_once() -> dict:
     """One timed run of the gate point; returns profile + stats."""
     config = MachineConfig(
         n_nodes=GATE_POINT["n_nodes"], topology=GATE_POINT["topology"]
@@ -84,8 +148,8 @@ def measure_once() -> dict:
     return {"profile": profile, "stats": point}
 
 
-def measure(repeats: int) -> dict:
-    runs = [measure_once() for _ in range(repeats)]
+def measure_network(repeats: int) -> dict:
+    runs = [measure_network_once() for _ in range(repeats)]
     best = min(runs, key=lambda r: r["profile"]["wall_s"])
     profile = dict(best["profile"])
     profile["events_per_sec"] = (
@@ -100,7 +164,120 @@ def measure(repeats: int) -> dict:
     }
 
 
-def check_fingerprint(measured: dict, baseline: dict) -> list[str]:
+# ---------------------------------------------------------------------------
+# Executor suite (E4 / E6-A3 / E8).
+# ---------------------------------------------------------------------------
+
+
+def run_exec_e4() -> dict:
+    """Fragment-parallel query set over Wisconsin (E4 plus shuffles)."""
+    p = EXEC_E4
+    db = PrismaDB(MachineConfig(n_nodes=p["n_nodes"], disk_nodes=p["disk_nodes"]))
+    load_wisconsin(db, "wisc", p["rows"], fragments=p["fragments"], seed=p["seed"])
+    db.quiesce()
+    start = time.perf_counter()
+    queries = []
+    for sql in p["queries"]:
+        result = db.execute(sql)
+        queries.append(
+            {
+                "rows": _digest(result.rows),
+                "response_s": repr(result.response_time),
+                "messages": result.report.messages,
+                "bytes": result.report.bytes_shipped,
+            }
+        )
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "fingerprint": {"queries": queries, "busy_total": _busy_total(db)}}
+
+
+def run_exec_closure() -> dict:
+    """E6/A3: distributed semi-naive transitive closure, 8 fragments."""
+    p = EXEC_CLOSURE
+    edges = random_dag(p["vertices"], p["edges"], seed=p["seed"])
+    db = PrismaDB(MachineConfig(n_nodes=p["n_nodes"], disk_nodes=p["disk_nodes"]))
+    db.gdh.executor.distributed_closure = True
+    load_edges(db, "e", edges, fragments=p["fragments"])
+    db.quiesce()
+    start = time.perf_counter()
+    result = db.execute("SELECT COUNT(*) FROM CLOSURE(e)")
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "fingerprint": {
+            "pairs": result.rows[0][0],
+            "response_s": repr(result.response_time),
+            "messages": result.report.messages,
+            "bytes": result.report.bytes_shipped,
+            "busy_total": _busy_total(db),
+        },
+    }
+
+
+def run_exec_e8() -> dict:
+    """E8: concurrent bank clients on disjoint fragments."""
+    p = EXEC_E8
+    db = PrismaDB(MachineConfig(n_nodes=p["n_nodes"], disk_nodes=p["disk_nodes"]))
+    setup_bank(db, p["accounts"], p["fragments"])
+    db.quiesce()
+    scripts = []
+    for client in range(p["clients"]):
+        account = client % p["fragments"]
+        scripts.append(
+            [
+                [
+                    f"UPDATE account SET balance = balance + 1 WHERE id = {account}",
+                    f"SELECT balance FROM account WHERE id = {account}",
+                ]
+                for _ in range(p["txns_per_client"])
+            ]
+        )
+    driver = InterleavedDriver(db)
+    start = time.perf_counter()
+    outcome = driver.run(scripts)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "fingerprint": {
+            "committed": outcome.transactions_committed,
+            "throughput_tps": repr(outcome.throughput_tps),
+            "lock_waits": outcome.lock_waits,
+        },
+    }
+
+
+EXECUTOR_BENCHES = {
+    "e4": run_exec_e4,
+    "closure": run_exec_closure,
+    "e8": run_exec_e8,
+}
+
+
+def measure_executor(repeats: int) -> dict:
+    measured = {}
+    for name, bench in EXECUTOR_BENCHES.items():
+        runs = [bench() for _ in range(repeats)]
+        fingerprints = [run["fingerprint"] for run in runs]
+        for fingerprint in fingerprints[1:]:
+            if fingerprint != fingerprints[0]:
+                raise AssertionError(
+                    f"executor bench {name!r} is not deterministic across"
+                    f" same-process repeats: {fingerprint} != {fingerprints[0]}"
+                )
+        measured[name] = {
+            "wall_s": min(run["wall_s"] for run in runs),
+            "wall_s_all": [round(run["wall_s"], 4) for run in runs],
+            "fingerprint": fingerprints[0],
+        }
+    return measured
+
+
+# ---------------------------------------------------------------------------
+# Gates.
+# ---------------------------------------------------------------------------
+
+
+def check_network_fingerprint(measured: dict, baseline: dict) -> list[str]:
     problems = []
     expected = baseline.get("expected_stats", {})
     stats = measured["stats"]
@@ -115,7 +292,11 @@ def check_fingerprint(measured: dict, baseline: dict) -> list[str]:
     return problems
 
 
-def check_gates(measured: dict, baseline: dict, wall_gate: bool) -> list[str]:
+def wall_threshold() -> float:
+    return float(os.environ.get("PERF_GATE_MAX_REGRESSION", "0.30"))
+
+
+def check_network_gates(measured: dict, baseline: dict, wall_gate: bool) -> list[str]:
     failures = []
     committed = baseline["committed"]
     profile = measured["profile"]
@@ -125,7 +306,7 @@ def check_gates(measured: dict, baseline: dict, wall_gate: bool) -> list[str]:
             f"event-count regression: {events} fired vs baseline"
             f" {base_events} (+{(events / base_events - 1) * 100:.1f}%, limit 5%)"
         )
-    threshold = float(os.environ.get("PERF_GATE_MAX_REGRESSION", "0.30"))
+    threshold = wall_threshold()
     wall, base_wall = profile["wall_s"], committed["wall_s"]
     if wall_gate and wall > base_wall * (1 + threshold):
         failures.append(
@@ -135,9 +316,49 @@ def check_gates(measured: dict, baseline: dict, wall_gate: bool) -> list[str]:
     return failures
 
 
+def check_executor_gates(
+    measured: dict, baseline: dict, wall_gate: bool
+) -> list[str]:
+    failures = []
+    threshold = wall_threshold()
+    entries = baseline.get("executor", {})
+    for name, run in measured.items():
+        entry = entries.get(name)
+        if entry is None:
+            failures.append(f"executor bench {name!r} has no committed baseline")
+            continue
+        if run["fingerprint"] != entry["expected"]:
+            failures.append(
+                f"executor fingerprint drift on {name!r}: results are no"
+                " longer bit-identical to the committed baseline — got"
+                f" {run['fingerprint']}, pinned {entry['expected']};"
+                " regenerate benchmarks/perf_baseline.json deliberately"
+            )
+        wall, base_wall = run["wall_s"], entry["committed"]["wall_s"]
+        if wall_gate and wall > base_wall * (1 + threshold):
+            failures.append(
+                f"executor wall-clock regression on {name!r}: {wall:.3f}s vs"
+                f" baseline {base_wall:.3f}s"
+                f" (+{(wall / base_wall - 1) * 100:.1f}%,"
+                f" limit {threshold * 100:.0f}%)"
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# CLI.
+# ---------------------------------------------------------------------------
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--suite",
+        choices=["all", "network", "executor"],
+        default="all",
+        help="which benchmark family to run",
+    )
     parser.add_argument(
         "--no-wall-gate",
         action="store_true",
@@ -150,56 +371,108 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    measured = measure(args.repeats)
-    profile = measured["profile"]
-    print(
-        f"perf_gate: wall {profile['wall_s']:.3f}s"
-        f"  events {profile['events_fired']}"
-        f"  {profile['events_per_sec']:,.0f} events/s"
-        f"  heap peak {profile['heap_peak']}"
-    )
-
     baseline = json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else None
-    report = {"measured": measured, "baseline": baseline, "host": platform.platform()}
-
+    report: dict = {"baseline": baseline, "host": platform.platform()}
     failures: list[str] = []
-    if args.update_baseline or baseline is None:
-        new_baseline = {
-            "benchmark": (
-                "E1 single load point: 64-PE mesh, 20,000 pps/PE offered,"
-                " 0.01s warmup, 0.02s window, bounded drain, seed 17"
-            ),
-            "pre_rewrite": (baseline or {}).get("pre_rewrite"),
-            "committed": {
-                "wall_s": round(profile["wall_s"], 4),
-                "events_fired": profile["events_fired"],
-                "events_per_sec": round(profile["events_per_sec"]),
-                "heap_peak": profile["heap_peak"],
-                "host": platform.platform(),
-            },
-            "expected_stats": {
-                "injected": measured["stats"]["injected"],
-                "delivered": measured["stats"]["delivered"],
-                "delivered_in_window": measured["stats"]["delivered_in_window"],
-                "in_flight": measured["stats"]["in_flight"],
-            },
-        }
+    updating = args.update_baseline or baseline is None
+    new_baseline = dict(baseline) if baseline else {}
+
+    if args.suite in ("all", "network"):
+        measured = measure_network(args.repeats)
+        profile = measured["profile"]
+        print(
+            f"perf_gate[network]: wall {profile['wall_s']:.3f}s"
+            f"  events {profile['events_fired']}"
+            f"  {profile['events_per_sec']:,.0f} events/s"
+            f"  heap peak {profile['heap_peak']}"
+        )
+        report["measured"] = measured
+        if updating:
+            new_baseline.update(
+                {
+                    "benchmark": (
+                        "E1 single load point: 64-PE mesh, 20,000 pps/PE offered,"
+                        " 0.01s warmup, 0.02s window, bounded drain, seed 17"
+                    ),
+                    "pre_rewrite": (baseline or {}).get("pre_rewrite"),
+                    "committed": {
+                        "wall_s": round(profile["wall_s"], 4),
+                        "events_fired": profile["events_fired"],
+                        "events_per_sec": round(profile["events_per_sec"]),
+                        "heap_peak": profile["heap_peak"],
+                        "host": platform.platform(),
+                    },
+                    "expected_stats": {
+                        "injected": measured["stats"]["injected"],
+                        "delivered": measured["stats"]["delivered"],
+                        "delivered_in_window": measured["stats"]["delivered_in_window"],
+                        "in_flight": measured["stats"]["in_flight"],
+                    },
+                }
+            )
+        else:
+            failures.extend(check_network_fingerprint(measured, baseline))
+            failures.extend(
+                check_network_gates(measured, baseline, not args.no_wall_gate)
+            )
+            pre = baseline.get("pre_rewrite")
+            if pre:
+                speedup = pre["wall_s"] / profile["wall_s"]
+                event_cut = 1 - profile["events_fired"] / pre["events_fired"]
+                print(
+                    f"perf_gate[network]: {speedup:.2f}x faster than the"
+                    f" pre-rewrite core ({pre['wall_s']:.3f}s /"
+                    f" {pre['events_fired']} events);"
+                    f" event count cut by {event_cut * 100:.0f}%"
+                )
+                report["speedup_vs_pre_rewrite"] = round(speedup, 2)
+
+    if args.suite in ("all", "executor"):
+        measured_exec = measure_executor(args.repeats)
+        report["executor"] = measured_exec
+        for name, run in measured_exec.items():
+            print(f"perf_gate[executor/{name}]: wall {run['wall_s']:.3f}s")
+        if updating:
+            existing = (baseline or {}).get("executor", {})
+            new_baseline["executor"] = {}
+            for name, run in measured_exec.items():
+                prior = existing.get(name, {})
+                # The first --update-baseline run (pre-rewrite engine)
+                # pins pre_rewrite; later updates keep it for the
+                # speedup report.
+                pre_entry = prior.get("pre_rewrite") or {
+                    "wall_s": round(run["wall_s"], 4)
+                }
+                new_baseline["executor"][name] = {
+                    "pre_rewrite": pre_entry,
+                    "committed": {
+                        "wall_s": round(run["wall_s"], 4),
+                        "host": platform.platform(),
+                    },
+                    "expected": run["fingerprint"],
+                }
+        else:
+            failures.extend(
+                check_executor_gates(
+                    measured_exec, baseline, not args.no_wall_gate
+                )
+            )
+            for name, run in measured_exec.items():
+                pre = baseline.get("executor", {}).get(name, {}).get("pre_rewrite")
+                if pre and pre.get("wall_s"):
+                    speedup = pre["wall_s"] / run["wall_s"]
+                    print(
+                        f"perf_gate[executor/{name}]: {speedup:.2f}x faster"
+                        f" than the pre-rewrite executor ({pre['wall_s']:.3f}s)"
+                    )
+                    report.setdefault("executor_speedup_vs_pre_rewrite", {})[
+                        name
+                    ] = round(speedup, 2)
+
+    if updating:
         BASELINE_PATH.write_text(json.dumps(new_baseline, indent=2) + "\n")
         print(f"perf_gate: baseline written to {BASELINE_PATH}")
         report["baseline"] = new_baseline
-    else:
-        failures.extend(check_fingerprint(measured, baseline))
-        failures.extend(check_gates(measured, baseline, not args.no_wall_gate))
-        pre = baseline.get("pre_rewrite")
-        if pre:
-            speedup = pre["wall_s"] / profile["wall_s"]
-            event_cut = 1 - profile["events_fired"] / pre["events_fired"]
-            print(
-                f"perf_gate: {speedup:.2f}x faster than the pre-rewrite core"
-                f" ({pre['wall_s']:.3f}s / {pre['events_fired']} events);"
-                f" event count cut by {event_cut * 100:.0f}%"
-            )
-            report["speedup_vs_pre_rewrite"] = round(speedup, 2)
 
     report["gate"] = {"passed": not failures, "failures": failures}
     RESULTS_PATH.parent.mkdir(exist_ok=True)

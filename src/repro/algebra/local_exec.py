@@ -20,7 +20,6 @@ from repro.exec.closure import (
     seminaive_fixpoint,
     smart_closure,
 )
-from repro.exec.compiler import compile_key
 from repro.exec.evaluation import Evaluator
 from repro.exec.operators import (
     AggSpec,
@@ -190,7 +189,7 @@ class LocalExecutor:
 
     def _run_AggregateNode(self, plan: AggregateNode) -> list[Row]:
         rows = self.run(plan.child)
-        group_key = compile_key(plan.group_cols) if plan.group_cols else None
+        group_key = self.evaluator.key(plan.group_cols) if plan.group_cols else None
         specs = []
         for aggregate in plan.aggregates:
             arg_fn = None
@@ -209,7 +208,7 @@ class LocalExecutor:
         return distinct_rows(self.run(plan.child), self.meter)
 
     def _run_LimitNode(self, plan: LimitNode) -> list[Row]:
-        return limit_rows(self.run(plan.child), plan.limit, plan.offset)
+        return limit_rows(self.run(plan.child), plan.limit, plan.offset, self.meter)
 
     def _run_ClosureNode(self, plan: ClosureNode) -> list[Row]:
         rows = self.run(plan.child)
@@ -249,8 +248,8 @@ class LocalExecutor:
             return hash_join(
                 left_rows,
                 right_rows,
-                compile_key(left_keys),
-                compile_key(right_keys),
+                self.evaluator.key(left_keys),
+                self.evaluator.key(right_keys),
                 self.meter,
                 kind=plan.kind,
                 right_width=right_width,

@@ -56,17 +56,28 @@ class PlanNode:
     # -- shared machinery -----------------------------------------------------
 
     def key(self) -> tuple:
-        return (
-            type(self).__name__,
-            self._key_payload(),
-            tuple(child.key() for child in self.children),
-        )
+        # Memoized: nodes are immutable and the optimizer recomputes
+        # structural keys recursively on every rewrite pass, so the
+        # O(subtree) walk is paid once per node.
+        cached = self.__dict__.get("_cached_key")
+        if cached is None:
+            cached = (
+                type(self).__name__,
+                self._key_payload(),
+                tuple(child.key() for child in self.children),
+            )
+            self.__dict__["_cached_key"] = cached
+        return cached
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, PlanNode) and self.key() == other.key()
 
     def __hash__(self) -> int:
-        return hash(self.key())
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash(self.key())
+            self.__dict__["_cached_hash"] = cached
+        return cached
 
     def with_children(self, children: Sequence["PlanNode"]) -> "PlanNode":
         if len(children) != len(self.children):

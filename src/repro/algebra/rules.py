@@ -296,8 +296,14 @@ def _fold(expr: Expr) -> Expr:
 
     if isinstance(expr, Literal):
         return expr
-    children = tuple(_fold(c) for c in expr.children())
-    rebuilt = _rebuild(expr, children)
+    children = expr.children()
+    folded = tuple(_fold(c) for c in children)
+    if all(new is old for new, old in zip(folded, children)):
+        # Nothing folded below: keep the original node so callers can
+        # detect the no-op by identity instead of structural comparison.
+        rebuilt = expr
+    else:
+        rebuilt = _rebuild(expr, folded)
     if is_constant(rebuilt) and not isinstance(rebuilt, Literal):
         try:
             return Literal(evaluate(rebuilt, ()))

@@ -22,6 +22,7 @@ from repro.errors import ExecutionError, PlanError
 from repro.exec.evaluation import Evaluator
 from repro.exec.expressions import ColumnRef, Comparison, Literal, conjuncts
 from repro.exec.operators import JoinKind, Row, WorkMeter
+from repro.exec.shuffle import SplitterCache
 from repro.algebra.local_exec import LocalExecutor
 from repro.algebra.optimizer import OptimizedPlan
 from repro.algebra.plan import (
@@ -42,7 +43,6 @@ from repro.algebra.plan import (
     ValuesNode,
 )
 from repro.core.catalog import Catalog
-from repro.core.fragmentation import stable_hash
 from repro.ofm.manager import OFMProfile, OneFragmentManager
 from repro.pool.process import PoolProcess
 from repro.pool.runtime import PoolRuntime
@@ -138,6 +138,8 @@ class DistributedExecutor:
         #: Run transitive closure as a parallel distributed fixpoint when
         #: the input is fragmented (False = gather to one transient OFM).
         self.distributed_closure = distributed_closure
+        #: Compiled single-pass bucket splitters, one per shuffle shape.
+        self._splitters = SplitterCache()
         self._temp_counter = 0
         # Per-execution state:
         self._query_process: PoolProcess | None = None
@@ -416,11 +418,15 @@ class DistributedExecutor:
         assert self._query_process is not None
         take = None if plan.limit is None else plan.limit + plan.offset
         if take is not None and len(child.parts) > 1:
-            # Each part can cap locally before shipping.
-            child = DistRelation(
-                [Part(p.process, p.rows[:take]) for p in child.parts],
-                child.partition_cols,
-            )
+            # Each part can cap locally before shipping; the cap touches
+            # min(len(rows), take) tuples of simulated CPU at the part.
+            capped: list[Part] = []
+            for p in child.parts:
+                p.process.charge(
+                    self.machine.cpu_time(tuples=min(len(p.rows), take))
+                )
+                capped.append(Part(p.process, p.rows[:take]))
+            child = DistRelation(capped, child.partition_cols)
         gathered = self._gather(child, self._query_process, plan.schema)
         template = LimitNode(_input_scan(plan.schema), plan.limit, plan.offset)
         rows = self._run_local(
@@ -475,12 +481,13 @@ class DistributedExecutor:
         k = len(targets)
         if k == 1:
             return self._gather(relation, targets[0], schema)
+        # One pass per part through a compiled, key-specialized splitter
+        # (repro.exec.shuffle); bucket assignment is bit-identical to the
+        # interpreted ``_hash_key(row, key_cols) % k``.
+        split = self._splitters.splitter(key_cols, k)
         buckets: list[list] = [[] for _ in range(k)]
         for part in relation.parts:
-            outgoing: list[list] = [[] for _ in range(k)]
-            for row in part.rows:
-                index = _hash_key(row, key_cols) % k
-                outgoing[index].append(row)
+            outgoing = split(part.rows)
             # Hash-splitting is CPU work at the source.
             seconds = self.machine.cpu_time(hashes=len(part.rows))
             part.process.charge(seconds)
@@ -498,16 +505,31 @@ class DistributedExecutor:
     def _broadcast(
         self, relation: DistRelation, targets: list[PoolProcess], schema: Schema
     ) -> list[list]:
-        """Copy the whole relation to every target; returns rows per target."""
-        if len(relation.parts) > 1:
-            # Assemble at one site first so transfer costs are honest.
-            relation = self._gather(relation, relation.parts[0].process, schema)
-        source = relation.parts[0]
-        rows = source.rows
+        """Copy the whole relation to every target; returns rows per target.
+
+        Each source part ships directly to each remote target.  The old
+        implementation first gathered multi-part relations at
+        ``parts[0]`` — the same bytes then crossed the network once more
+        per target, one hop later.  Direct shipping charges the same
+        per-target transfer and drops the gather hop entirely.
+        """
+        parts = relation.parts
+        if len(parts) == 1:
+            source = parts[0]
+            rows = source.rows
+            result = []
+            for target in targets:
+                if target is not source.process:
+                    self._ship(source, target, schema, rows)
+                result.append(rows)
+            return result
         result = []
         for target in targets:
-            if target is not source.process:
-                self._ship(source, target, schema, rows)
+            rows = []
+            for part in parts:
+                if part.process is not target:
+                    self._ship(part, target, schema, part.rows)
+                rows.extend(part.rows)
             result.append(rows)
         return result
 
@@ -698,23 +720,41 @@ class DistributedExecutor:
         elimination against per-site totals.  This extends the OFM's
         closure operator to the multi-computer — the project's
         "parallelism for inferencing" goal.
-        """
-        from repro.exec.expressions import ColumnRef, Comparison
 
+        The per-site join state is loop-invariant: each site builds its
+        ``src -> [dst, ...]`` edge hash table once and probes it every
+        round, instead of re-running a generic join/project template
+        through a fresh :class:`LocalExecutor`.  The simulated charges
+        are computed in closed form per round to match that template
+        exactly (scan both inputs, hash build + probe, emit and project
+        the joined pairs), so response times are bit-identical — only
+        the host-CPU cost of the round changed.
+        """
         # Edges keyed by source at their (re)partition sites.
         edges_by_src = self._repartition(edges, (0,), schema)
         sites = [part.process for part in edges_by_src.parts]
-        k = len(sites)
 
-        join_template = ProjectNode(
-            JoinNode(
-                _input_scan(schema, "__delta"),
-                _input_scan(schema, "__edges"),
-                Comparison("=", ColumnRef(1), ColumnRef(2)),
-            ),
-            [ColumnRef(0), ColumnRef(3)],
-            list(schema.names()),
-        )
+        # Loop-invariant build side, one hash table per site.  Rows with
+        # a NULL source never join (NULL-safe equi-join semantics).
+        edge_tables: list[dict] = []
+        edge_counts: list[int] = []
+        for edge_part in edges_by_src.parts:
+            table: dict = {}
+            get = table.get
+            for row in edge_part.rows:
+                src = row[0]
+                if src is None:
+                    continue
+                bucket = get(src)
+                if bucket is None:
+                    table[src] = [row[1]]
+                else:
+                    bucket.append(row[1])
+            edge_tables.append(table)
+            edge_counts.append(len(edge_part.rows))
+        # Projecting (a, c) out of a joined pair costs the projector
+        # weight per output row (4x under the interpreted back-end).
+        _, proj_weight = self.evaluator.projector((ColumnRef(0), ColumnRef(3)))
 
         # Totals live partitioned by whole-row hash over the same sites.
         total_rel = self._repartition(
@@ -741,26 +781,40 @@ class DistributedExecutor:
                 raise ExecutionError("distributed closure failed to converge")
             delta_by_dst = self._repartition(delta, (1,), schema, targets=sites)
             derived_parts = []
-            for delta_part, edge_part in zip(delta_by_dst.parts, edges_by_src.parts):
-                rows = self._run_local(
-                    delta_part.process,
-                    join_template,
-                    {"__delta": delta_part.rows, "__edges": edge_part.rows},
+            for index, delta_part in enumerate(delta_by_dst.parts):
+                site = delta_part.process
+                self._dispatch(site)
+                probe = edge_tables[index].get
+                joined = [
+                    (a, c)
+                    for a, b in delta_part.rows
+                    for c in probe(b) or ()
+                ]
+                # Closed-form equivalent of the old template execution:
+                # scans charge a tuple per input row, the join charges a
+                # hash per build+probe row and a tuple per joined pair,
+                # the projection a tuple and proj_weight compares per pair.
+                tuples = len(delta_part.rows) + edge_counts[index] + 2 * len(joined)
+                seconds = self.machine.cpu_time(
+                    tuples=tuples,
+                    hashes=edge_counts[index] + len(delta_part.rows),
+                    compares=int(len(joined) * proj_weight),
                 )
-                derived_parts.append(Part(delta_part.process, rows))
+                site.charge(seconds, tuples=tuples)
+                derived_parts.append(Part(site, joined))
             derived = self._repartition(
                 DistRelation(derived_parts, None), (0, 1), schema, targets=sites
             )
             fresh_parts = []
             for index, part in enumerate(derived.parts):
                 part.process.charge(self.machine.cpu_time(hashes=len(part.rows)))
-                fresh = []
                 seen = totals[index]
-                for row in part.rows:
-                    pair = tuple(row)
-                    if pair not in seen:
-                        seen.add(pair)
-                        fresh.append(pair)
+                # Rows are tuples already; fromkeys dedups within the
+                # batch keeping first occurrences, the filter drops what
+                # earlier rounds derived — same rows, same order as the
+                # one-at-a-time membership loop.
+                fresh = [row for row in dict.fromkeys(part.rows) if row not in seen]
+                seen.update(fresh)
                 fresh_parts.append(Part(part.process, fresh))
             delta = DistRelation(fresh_parts, None)
 
@@ -824,13 +878,6 @@ def _value_bytes(row: tuple) -> int:
         else:
             total += 8
     return total
-
-
-def _hash_key(row: tuple, key_cols: tuple[int, ...]) -> int:
-    value = 0
-    for col in key_cols:
-        value = (value * 1000003) ^ stable_hash(row[col])
-    return value & 0x7FFFFFFF
 
 
 def _remap_partition(

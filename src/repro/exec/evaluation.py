@@ -53,3 +53,12 @@ class Evaluator:
         """A single-value callable (used for aggregate arguments, keys)."""
         fn, weight = self.projector((expr,))
         return (lambda row, _fn=fn: _fn(row)[0]), weight
+
+    def key(self, positions: Sequence[int]) -> Callable[[Sequence[Any]], tuple]:
+        """A cached key extractor for the given row positions.
+
+        Key extraction has no interpreted variant (there is nothing to
+        interpret — it is a plain positional gather), so both back-ends
+        share the compiled, cached form.
+        """
+        return self.cache.key(positions)

@@ -45,7 +45,15 @@ class Expr:
         return type(self) is type(other) and self.key() == other.key()  # type: ignore[attr-defined]
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.key()))
+        # Memoized: expressions are immutable and the compiler cache
+        # hashes the same trees on every query, so pay the recursive
+        # key() walk once per node.
+        try:
+            return self._cached_hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((type(self).__name__, self.key()))
+            object.__setattr__(self, "_cached_hash", value)
+            return value
 
     def children(self) -> tuple["Expr", ...]:
         return ()

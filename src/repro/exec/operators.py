@@ -115,42 +115,59 @@ def hash_join(
     """
     if kind is JoinKind.LEFT_OUTER and right_width is None:
         raise ExecutionError("LEFT_OUTER join needs right_width for NULL padding")
+    # Build + probe hash charges in closed form up front: one hash per
+    # input row, independent of match counts (same totals the per-row
+    # accumulation produced).
+    meter.hashes += len(right) + len(left)
     table: dict[tuple, list[Row]] = {}
-    meter.hashes += len(right)
+    setdefault = table.setdefault
     for row in right:
         key = right_key(row)
-        if any(part is None for part in key):
+        if None in key:
             continue
-        table.setdefault(key, []).append(row)
+        setdefault(key, []).append(row)
 
     output: Rows = []
-    meter.hashes += len(left)
+    append = output.append
+    get = table.get
+    if kind is JoinKind.INNER and residual is None:
+        # The hot path (equi-joins in every shuffle round): no residual
+        # filter, no padding, no per-row branch ladder.
+        for row in left:
+            key = left_key(row)
+            if None in key:
+                continue
+            matches = get(key)
+            if matches:
+                for match in matches:
+                    append(row + match)
+        meter.tuples += len(output)
+        return output
+
     pad = (None,) * (right_width or 0)
     for row in left:
         key = left_key(row)
-        matches = (
-            table.get(key, ()) if not any(p is None for p in key) else ()
-        )
+        matches = get(key, ()) if None not in key else ()
         if residual is not None and matches:
             candidates = [m for m in matches if residual(row + m)]
             meter.compares += len(matches)
         else:
-            candidates = list(matches)
+            candidates = matches
         if kind is JoinKind.INNER:
             for match in candidates:
-                output.append(row + match)
+                append(row + match)
         elif kind is JoinKind.LEFT_OUTER:
             if candidates:
                 for match in candidates:
-                    output.append(row + match)
+                    append(row + match)
             else:
-                output.append(row + pad)
+                append(row + pad)
         elif kind is JoinKind.SEMI:
             if candidates:
-                output.append(row)
+                append(row)
         elif kind is JoinKind.ANTI:
             if not candidates:
-                output.append(row)
+                append(row)
     meter.tuples += len(output)
     return output
 
@@ -294,20 +311,30 @@ def _null_safe_key(value: Any) -> tuple:
 
 def distinct_rows(rows: Sequence[Row], meter: WorkMeter) -> Rows:
     meter.hashes += len(rows)
-    seen: set[Row] = set()
-    output: Rows = []
-    for row in rows:
-        if row not in seen:
-            seen.add(row)
-            output.append(row)
+    # dict.fromkeys is the C-speed first-occurrence dedup: identical
+    # rows and order to the old per-row seen-set loop.
+    output: Rows = list(dict.fromkeys(rows))
     meter.tuples += len(output)
     return output
 
 
-def limit_rows(rows: Sequence[Row], limit: int | None, offset: int = 0) -> Rows:
+def limit_rows(
+    rows: Sequence[Row],
+    limit: int | None,
+    offset: int = 0,
+    meter: WorkMeter | None = None,
+) -> Rows:
+    """Slice ``rows[offset : offset+limit]``.
+
+    Rows skipped by ``offset`` and rows emitted under ``limit`` are
+    tuples the operator touched: both are charged to *meter* (rows
+    beyond the cap are never visited, so they stay free).
+    """
     if offset < 0 or (limit is not None and limit < 0):
         raise ExecutionError("LIMIT/OFFSET must be non-negative")
     end = None if limit is None else offset + limit
+    if meter is not None:
+        meter.tuples += len(rows) if end is None else min(len(rows), end)
     return list(rows[offset:end])
 
 
@@ -424,10 +451,23 @@ def aggregate_rows(
     Output rows are ``group_key_values + aggregate_values``.  With
     ``group_key=None`` a single global row is produced even for empty
     input (COUNT gives 0, the others NULL) — SQL semantics.
+
+    Work charges are closed-form per batch (one hash + one tuple per
+    input row, one tuple per output group); the common spec shapes run
+    through batched fast paths that keep flat accumulator lists instead
+    of per-group ``_AggState`` objects.  Accumulation order — and hence
+    float results, NULL handling, and group output order — is identical
+    to the generic loop.
     """
-    groups: dict[tuple, list[_AggState]] = {}
     meter.hashes += len(rows)
     meter.tuples += len(rows)
+
+    if not any(spec.distinct for spec in specs):
+        output = _aggregate_fast(rows, group_key, specs)
+        meter.tuples += len(output)
+        return output
+
+    groups: dict[tuple, list[_AggState]] = {}
 
     def new_states() -> list[_AggState]:
         return [_AggState(spec.distinct) for spec in specs]
@@ -457,4 +497,79 @@ def aggregate_rows(
             tuple(key) + tuple(state.result(spec.func) for spec, state in zip(specs, states))
         )
     meter.tuples += len(output)
+    return output
+
+
+def _aggregate_fast(
+    rows: Sequence[Row], group_key: KeyFn | None, specs: Sequence[AggSpec]
+) -> Rows:
+    """Non-DISTINCT aggregation over flat ``[count, total, min, max]``
+    accumulator lists (4 slots per spec, one list per group)."""
+    args = [spec.arg for spec in specs]
+    n_specs = len(specs)
+
+    if n_specs == 1 and args[0] is None:
+        # Pure COUNT(*): a plain int per group.
+        counts: dict[tuple, int] = {}
+        if group_key is None:
+            counts[()] = 0
+            for _row in rows:
+                counts[()] += 1
+        else:
+            get = counts.get
+            try:
+                for row in rows:
+                    key = group_key(row)
+                    counts[key] = get(key, 0) + 1
+            except (TypeError, ZeroDivisionError) as exc:
+                raise ExecutionError(f"aggregate argument failed: {exc}") from None
+        return [tuple(key) + (count,) for key, count in counts.items()]
+
+    groups: dict[tuple, list] = {}
+    template = [0, None, None, None] * n_specs
+    if group_key is None:
+        groups[()] = list(template)
+    get = groups.get
+    try:
+        for row in rows:
+            key = group_key(row) if group_key is not None else ()
+            state = get(key)
+            if state is None:
+                groups[key] = state = list(template)
+            base = 0
+            for arg in args:
+                if arg is None:
+                    state[base] += 1
+                else:
+                    value = arg(row)
+                    if value is not None:
+                        state[base] += 1
+                        total = state[base + 1]
+                        state[base + 1] = value if total is None else total + value
+                        if state[base + 2] is None or value < state[base + 2]:
+                            state[base + 2] = value
+                        if state[base + 3] is None or value > state[base + 3]:
+                            state[base + 3] = value
+                base += 4
+    except (TypeError, ZeroDivisionError) as exc:
+        raise ExecutionError(f"aggregate argument failed: {exc}") from None
+
+    output: Rows = []
+    for key, state in groups.items():
+        values = []
+        for index, spec in enumerate(specs):
+            base = index * 4
+            func = spec.func
+            if func == "count":
+                values.append(state[base])
+            elif func == "sum":
+                values.append(state[base + 1])
+            elif func == "avg":
+                count = state[base]
+                values.append(None if count == 0 else state[base + 1] / count)
+            elif func == "min":
+                values.append(state[base + 2])
+            else:
+                values.append(state[base + 3])
+        output.append(tuple(key) + tuple(values))
     return output

@@ -1,0 +1,117 @@
+"""Compiled single-pass bucket splitters for hash repartitioning.
+
+The distributed executor's shuffles used to call a generic
+``_hash_key(row, key_cols) % k`` helper per row — two Python calls and
+a tuple walk per tuple, on every repartition of every query.  This
+module applies the paper's generative approach (Section 2.5) to the
+*shuffle* instead of the scalar expression: each distinct
+``(key_cols, k)`` shape compiles once into a specialized splitter that
+makes one pass over a batch of rows and returns ``k`` bucket lists.
+
+The generated code inlines :func:`repro.core.fragmentation.stable_hash`
+for ``int`` keys (by far the common case: fragmentation keys and
+closure columns) and falls back to the real function for other types,
+so bucket assignment is **bit-identical** to the interpreted helper —
+the same rows land in the same buckets in the same order.  A property
+test (``tests/test_executor_shuffle.py``) enforces the equivalence
+against the reference hash for every value type the engine ships.
+
+Generated splitters look like::
+
+    def _split(rows):
+        buckets = [[], [], [], []]
+        _a = [b.append for b in buckets]
+        for row in rows:
+            _v = row[1]
+            _h = _v & 2147483647 if type(_v) is int else _sh(_v)
+            _a[_h % 4](row)
+        return buckets
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+Splitter = Callable[[Sequence[tuple]], list[list]]
+
+_MASK = 0x7FFFFFFF
+#: Same multiplier the interpreted ``_hash_key`` used (CPython's tuple
+#: hash multiplier); part of the pinned on-wire bucket assignment.
+_MULTIPLIER = 1000003
+
+
+def reference_bucket(row: tuple, key_cols: tuple[int, ...], k: int) -> int:
+    """The interpreted bucket function the compiler must reproduce."""
+    from repro.core.fragmentation import stable_hash
+
+    value = 0
+    for col in key_cols:
+        value = (value * _MULTIPLIER) ^ stable_hash(row[col])
+    return (value & _MASK) % k
+
+
+def _hash_snippet(column: int) -> str:
+    """Code for ``stable_hash(row[column])`` with an inline int fast path.
+
+    ``type(_v) is int`` deliberately excludes ``bool`` (a subclass),
+    which :func:`stable_hash` maps through ``int(value)`` — the
+    fallback keeps booleans, floats, strings, and NULLs bit-identical.
+    """
+    return f"(_v & {_MASK} if type(_v := row[{column}]) is int else _sh(_v))"
+
+
+def compile_splitter(key_cols: Sequence[int], k: int) -> Splitter:
+    """Compile a one-pass ``rows -> k bucket lists`` splitter."""
+    from repro.core.fragmentation import stable_hash
+
+    if k <= 0:
+        raise ValueError(f"splitter needs k >= 1 buckets, got {k}")
+    key_cols = tuple(key_cols)
+    if not key_cols:
+        # Degenerate shuffle: _hash_key of no columns is 0, bucket 0.
+        hash_expr = "0"
+    else:
+        hash_expr = _hash_snippet(key_cols[0])
+        for column in key_cols[1:]:
+            hash_expr = f"((({hash_expr}) * {_MULTIPLIER}) ^ {_hash_snippet(column)})"
+        hash_expr = f"(({hash_expr}) & {_MASK}) % {k}"
+    lines = [
+        "def _split(rows):",
+        f"    buckets = [{', '.join('[]' for _ in range(k))}]",
+        "    _a = [b.append for b in buckets]",
+        "    for row in rows:",
+        f"        _a[{hash_expr}](row)",
+        "    return buckets",
+    ]
+    source = "\n".join(lines) + "\n"
+    namespace = {"_sh": stable_hash}
+    code = compile(source, filename=f"<prisma:split{key_cols}x{k}>", mode="exec")
+    exec(code, namespace)  # noqa: S102 - generative splitter, like the expression compiler
+    fn = namespace["_split"]
+    fn.__prisma_source__ = source
+    return fn
+
+
+class SplitterCache:
+    """Per-executor cache of compiled splitters, keyed by shape.
+
+    Shuffle shapes are few (key columns x target count), so the cache
+    is unbounded; ``compilations``/``hits`` mirror the expression
+    compiler cache counters for observability.
+    """
+
+    def __init__(self) -> None:
+        self._splitters: dict[tuple[tuple[int, ...], int], Splitter] = {}
+        self.compilations = 0
+        self.hits = 0
+
+    def splitter(self, key_cols: Sequence[int], k: int) -> Splitter:
+        shape = (tuple(key_cols), k)
+        fn = self._splitters.get(shape)
+        if fn is None:
+            fn = compile_splitter(*shape)
+            self._splitters[shape] = fn
+            self.compilations += 1
+        else:
+            self.hits += 1
+        return fn

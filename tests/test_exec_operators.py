@@ -180,6 +180,18 @@ class TestDistinctLimitSetOps:
         with pytest.raises(ExecutionError):
             limit_rows(rows, -1)
 
+    def test_limit_charges_touched_rows(self):
+        rows = [(i,) for i in range(10)]
+        meter = WorkMeter()
+        limit_rows(rows, 3, meter=meter)
+        assert meter.tuples == 3  # stops at the cap, not the full input
+        meter = WorkMeter()
+        limit_rows(rows, 3, offset=8, meter=meter)
+        assert meter.tuples == 10  # offset walks the skipped rows too
+        meter = WorkMeter()
+        limit_rows(rows, None, offset=7, meter=meter)
+        assert meter.tuples == 10  # no cap: the whole input is touched
+
     def test_union_deduplicates(self):
         out = union_rows([(1,), (2,)], [(2,), (3,)], WorkMeter())
         assert sorted(out) == [(1,), (2,), (3,)]
