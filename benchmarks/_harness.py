@@ -5,14 +5,50 @@ evaluation would show (see DESIGN.md section 3 and EXPERIMENTS.md).
 Results are printed *and* written to ``benchmarks/results/eN_*.txt`` so
 ``pytest benchmarks/ --benchmark-only`` leaves the measured tables on
 disk even though pytest captures stdout.
+
+Also home to the benchmark-only bits of the observability layer:
+``install_wall_clock`` is the one sanctioned place that hands a host
+clock to :class:`~repro.machine.profile.LoopProfiler` (simulation code
+never reads wall time — prismalint PL001/PL006 enforce that), and
+``digest``/``combined_fingerprint`` are the canonical hashes the perf
+gate and the A4 determinism gate pin their baselines with.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pathlib
+import time
 from collections.abc import Iterable, Sequence
 
+from repro.machine.profile import LoopProfiler
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def digest(value: object) -> str:
+    """Short stable digest of any repr-able value (perf-baseline pins)."""
+    return hashlib.sha256(repr(value).encode()).hexdigest()[:16]
+
+
+def combined_fingerprint(matrix: object, failover: object) -> str:
+    """Full-length digest of a (matrix, failover) fingerprint pair.
+
+    Shared by ``bench_a4_faults.py`` and the perf gate so both sides of
+    the CI determinism diff hash byte-identical payloads.
+    """
+    payload = repr((matrix, failover)).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def install_wall_clock() -> None:
+    """Give LoopProfiler a host clock for this (benchmark) process.
+
+    Benchmarks measure real wall time; simulation code must not.  This
+    sets the class-level default so call sites stop hand-threading
+    ``clock=time.perf_counter`` through every profiler construction.
+    """
+    LoopProfiler.default_clock = time.perf_counter
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

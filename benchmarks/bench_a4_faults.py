@@ -24,7 +24,6 @@ twice with the same seed and diff the files bit-for-bit::
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import pathlib
 import sys
@@ -46,6 +45,7 @@ from repro.core.faults import (  # noqa: E402
     FaultInjector,
 )
 
+from _harness import combined_fingerprint as _combined  # noqa: E402
 from _harness import report  # noqa: E402
 
 CONFIG = MachineConfig(n_nodes=8, disk_nodes=(0, 4), topology="ring")
@@ -186,13 +186,10 @@ def run_element_failover(seed: int) -> dict:
 
 
 def combined_fingerprint(matrix: list[dict], failover: dict) -> str:
-    payload = repr(
-        (
-            [cell["fingerprints"] for cell in matrix],
-            failover["fingerprints"],
-        )
-    ).encode("utf-8")
-    return hashlib.sha256(payload).hexdigest()
+    return _combined(
+        [cell["fingerprints"] for cell in matrix],
+        failover["fingerprints"],
+    )
 
 
 # -- pytest entry points -----------------------------------------------------

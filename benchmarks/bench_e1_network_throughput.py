@@ -10,15 +10,15 @@ offered load at low rates and saturate in the vicinity of the paper's
 20k packets/s/PE figure.
 """
 
-import time
-
 import pytest
 
 from repro.machine import MachineConfig, PacketNetwork
 from repro.machine.profile import LoopProfiler
 from repro.machine.traffic import run_load_point
 
-from _harness import report
+from _harness import install_wall_clock, report
+
+install_wall_clock()
 
 CONFIG = MachineConfig(n_nodes=64, topology="mesh")
 
@@ -28,7 +28,7 @@ LOADS = [2_000, 5_000, 10_000, 15_000, 20_000, 25_000, 30_000]
 
 def measure(load: float, measure_s: float = 0.04) -> dict:
     network = PacketNetwork(CONFIG)
-    with LoopProfiler(network.loop, clock=time.perf_counter) as profiler:
+    with LoopProfiler(network.loop) as profiler:
         point = run_load_point(
             network, load, warmup_s=0.01, measure_s=measure_s, seed=17
         )

@@ -23,15 +23,19 @@ from repro.core.database import PrismaDB, Session
 from repro.core.result import QueryResult
 from repro.errors import PrismaError
 from repro.machine.config import MachineConfig, paper_prototype, small_machine
+from repro.obs import Observatory, Snapshot, Tracer
 
 __version__ = "0.1.0"
 
 __all__ = [
     "MachineConfig",
+    "Observatory",
     "PrismaDB",
     "PrismaError",
     "QueryResult",
     "Session",
+    "Snapshot",
+    "Tracer",
     "__version__",
     "paper_prototype",
     "small_machine",

@@ -17,6 +17,8 @@ from __future__ import annotations
 from repro.errors import PrismaError
 from repro.machine.config import MachineConfig, paper_prototype
 from repro.machine.machine import Machine
+from repro.obs.api import Observatory
+from repro.obs.tracer import Tracer
 from repro.algebra.optimizer import OptimizerOptions
 from repro.core.faults import FaultInjector
 from repro.core.gdh import GlobalDataHandler, SessionState
@@ -95,6 +97,11 @@ class PrismaDB:
         A :class:`~repro.core.faults.FaultInjector` for deterministic
         crash/failure experiments; a default (never-armed) injector is
         created when omitted.
+    tracer:
+        A :class:`~repro.obs.Tracer` recording structured spans across
+        the runtime, executor, and commit/recovery paths.  ``None`` (the
+        default) or a disabled tracer costs one ``is not None`` test per
+        instrumented event.
     """
 
     def __init__(
@@ -106,6 +113,7 @@ class PrismaDB:
         default_fragments: int | None = None,
         disk_resident: bool = False,
         faults: FaultInjector | None = None,
+        tracer: Tracer | None = None,
     ):
         self.machine = Machine(config or paper_prototype())
         if not self.machine.disk_nodes():
@@ -113,7 +121,8 @@ class PrismaDB:
                 "PRISMA needs at least one disk-equipped processing element"
                 " for stable storage (set MachineConfig.disk_nodes)"
             )
-        self.runtime = PoolRuntime(self.machine)
+        self.tracer = tracer
+        self.runtime = PoolRuntime(self.machine, tracer=tracer)
         self.gdh = GlobalDataHandler(
             self.runtime,
             compiled_expressions=compiled_expressions,
@@ -124,6 +133,7 @@ class PrismaDB:
             faults=faults,
         )
         self.recovery = RecoveryManager(self.gdh)
+        self._observatory: Observatory | None = None
         self._default_session = self.session()
 
     # -- sessions --------------------------------------------------------------
@@ -368,6 +378,40 @@ class PrismaDB:
         return self.recovery.resolve_in_doubt()
 
     # -- introspection ---------------------------------------------------------------------
+
+    def observe(self) -> Observatory:
+        """One facade over every stats surface of this database.
+
+        Sources (all :class:`~repro.obs.api.Snapshot`):
+
+        ========== ====================================================
+        ``runtime``      :class:`~repro.pool.runtime.RuntimeStats`
+        ``nodes``        per-PE busy/tuple/message counters (machine)
+        ``faults``       :class:`~repro.core.faults.FaultInjector`
+        ``shuffle``      the executor's splitter cache
+        ``expressions``  the expression-compiler cache
+        ``metrics``      the executor's cold-path metric registry
+        ``tracer``       the tracer, when one was passed at construction
+        ========== ====================================================
+
+        This replaces reaching into per-subsystem attributes
+        (``db.runtime.stats``, ``db.gdh.executor.evaluator.cache`` …);
+        the old paths still work but new code should go through here.
+        """
+        if self._observatory is None:
+            observatory = Observatory()
+            observatory.register("runtime", lambda: self.runtime.stats)
+            observatory.register("nodes", self.machine.observe().source("nodes"))
+            observatory.register("faults", self.gdh.faults)
+            observatory.register("shuffle", lambda: self.gdh.executor.splitters)
+            observatory.register(
+                "expressions", lambda: self.gdh.executor.evaluator.cache
+            )
+            observatory.register("metrics", self.gdh.executor.metrics)
+            if self.tracer is not None:
+                observatory.register("tracer", self.tracer)
+            self._observatory = observatory
+        return self._observatory
 
     @property
     def catalog(self):

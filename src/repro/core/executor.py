@@ -43,6 +43,8 @@ from repro.algebra.plan import (
     ValuesNode,
 )
 from repro.core.catalog import Catalog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import active
 from repro.ofm.manager import OFMProfile, OneFragmentManager
 from repro.pool.process import PoolProcess
 from repro.pool.runtime import PoolRuntime
@@ -140,6 +142,12 @@ class DistributedExecutor:
         self.distributed_closure = distributed_closure
         #: Compiled single-pass bucket splitters, one per shuffle shape.
         self._splitters = SplitterCache()
+        #: Tracer handle (None unless the runtime carries an enabled
+        #: tracer); spans cover operator execution and whole queries.
+        self._tracer = active(runtime.tracer)
+        #: Cold-path instruments (per query / per shuffle, never per
+        #: row); surfaced through ``PrismaDB.observe()`` as "metrics".
+        self.metrics = MetricsRegistry()
         self._temp_counter = 0
         # Per-execution state:
         self._query_process: PoolProcess | None = None
@@ -147,6 +155,11 @@ class DistributedExecutor:
         self._shared: dict[str, DistRelation] = {}
         self._dispatched: set[str] = set()
         self._report: ExecutionReport = ExecutionReport()
+
+    @property
+    def splitters(self) -> SplitterCache:
+        """The shuffle splitter cache (a Snapshot stats surface)."""
+        return self._splitters
 
     # -- entry point -----------------------------------------------------------
 
@@ -180,6 +193,21 @@ class DistributedExecutor:
         report.temp_ofms = len(self._temps)
         report.messages = self.runtime.stats.messages - stats_before[0]
         report.bytes_shipped = self.runtime.stats.bytes_moved - stats_before[1]
+        self.metrics.counter("executor.queries").inc()
+        self.metrics.counter("executor.temp_ofms").inc(report.temp_ofms)
+        self.metrics.histogram("executor.rows_returned").observe(report.rows_returned)
+        if self._tracer is not None:
+            self._tracer.span(
+                report.started_at,
+                report.finished_at,
+                "executor.query",
+                query_process.name,
+                node=query_process.node_id,
+                actor=query_process.name,
+                rows=report.rows_returned,
+                messages=report.messages,
+                bytes=report.bytes_shipped,
+            )
         return rows, report
 
     # -- infrastructure ----------------------------------------------------------
@@ -234,7 +262,19 @@ class DistributedExecutor:
             hashes=int(meter.hashes),
             compares=int(meter.compares),
         )
+        started = process.ready_at
         process.charge(seconds, tuples=int(meter.tuples))
+        if self._tracer is not None:
+            self._tracer.span(
+                started,
+                process.ready_at,
+                "operator.execute",
+                type(plan).__name__,
+                node=process.node_id,
+                actor=process.name,
+                rows=len(rows),
+                tuples=int(meter.tuples),
+            )
         return rows
 
     def _row_bytes(self, schema: Schema, rows: list) -> int:
@@ -258,6 +298,7 @@ class DistributedExecutor:
         """Collect every part at *target* (the fan-in of a query)."""
         if len(relation.parts) == 1 and relation.parts[0].process is target:
             return relation
+        self.metrics.counter("executor.gathers").inc()
         schema = schema or _any_schema(1)
         rows: list = []
         for part in relation.parts:
@@ -479,6 +520,19 @@ class DistributedExecutor:
         if targets is None:
             targets = [part.process for part in relation.parts]
         k = len(targets)
+        self.metrics.counter("executor.repartitions").inc()
+        self.metrics.histogram("executor.shuffle_rows").observe(relation.total_rows)
+        if self._tracer is not None:
+            anchor = relation.parts[0].process if relation.parts else targets[0]
+            self._tracer.event(
+                anchor.ready_at,
+                "executor.repartition",
+                f"x{k}",
+                node=anchor.node_id,
+                actor=anchor.name,
+                rows=relation.total_rows,
+                targets=k,
+            )
         if k == 1:
             return self._gather(relation, targets[0], schema)
         # One pass per part through a compiled, key-specialized splitter
@@ -513,6 +567,7 @@ class DistributedExecutor:
         per target, one hop later.  Direct shipping charges the same
         per-target transfer and drops the gather hop entirely.
         """
+        self.metrics.counter("executor.broadcasts").inc()
         parts = relation.parts
         if len(parts) == 1:
             source = parts[0]

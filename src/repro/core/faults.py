@@ -221,13 +221,30 @@ class FaultInjector:
             raise MachineError(f"unknown scheduled fault kind {kind!r}") from None
         runtime.loop.schedule_at(at_time, action)
 
-    # -- determinism ----------------------------------------------------------
+    # -- determinism / Snapshot protocol --------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Snapshot view: seed, armed points, and the injection log."""
+        return {
+            "seed": self.seed,
+            "armed": [point.value for point in self.armed_points()],
+            "injections": [list(entry) for entry in self.injections],
+        }
 
     def fingerprint(self) -> str:
         """SHA-256 over the canonical injection log (+ seed).
 
         Two runs with the same seed and driver must produce identical
-        fingerprints; the CI determinism gate diffs them.
+        fingerprints; the CI determinism gate diffs them.  This predates
+        the :class:`~repro.obs.api.Snapshot` protocol and its exact
+        payload is pinned by the A4 bench baselines, so it hashes the
+        log directly rather than ``stats()``.
         """
         canonical = repr((self.seed, self.injections)).encode("utf-8")
         return hashlib.sha256(canonical).hexdigest()
+
+    def reset(self) -> None:
+        """Return to the just-constructed state (same seed, fresh RNG)."""
+        self.rng = random.Random(self.seed)
+        self._armed.clear()
+        self.injections.clear()

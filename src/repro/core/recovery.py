@@ -38,6 +38,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import RecoveryError
+from repro.obs.tracer import active
 from repro.core.gdh import GDH_NODE, GlobalDataHandler
 from repro.core.transactions import TxnState
 from repro.ofm.manager import OFMProfile, OneFragmentManager
@@ -128,6 +129,7 @@ class RecoveryManager:
 
     def __init__(self, gdh: GlobalDataHandler):
         self.gdh = gdh
+        self._tracer = active(gdh.runtime.tracer)
 
     # -- failures -------------------------------------------------------------
 
@@ -282,8 +284,19 @@ class RecoveryManager:
         gdh = self.gdh
         report = RecoveryReport()
 
+        scan_started = gdh.gdh_process.ready_at
         outcomes, scan_cost = gdh.commit_log.scan()
         gdh.gdh_process.charge(scan_cost)
+        if self._tracer is not None:
+            self._tracer.span(
+                scan_started,
+                gdh.gdh_process.ready_at,
+                "recovery.log_scan",
+                "commit_log",
+                node=gdh.gdh_process.node_id,
+                actor=gdh.gdh_process.name,
+                outcomes=len(outcomes),
+            )
         report.commit_log_scan_s = scan_cost
         report.committed_outcomes = sum(
             1 for outcome in outcomes.values() if outcome == "commit"
@@ -294,7 +307,18 @@ class RecoveryManager:
             ofm = gdh.fragment_ofms[name]
             if ofm.profile is not OFMProfile.FULL:
                 continue
+            replay_started = ofm.ready_at
             rows, cost = ofm.recover(lambda txn: outcomes.get(txn, "abort"))
+            if self._tracer is not None:
+                self._tracer.span(
+                    replay_started,
+                    replay_started + cost,
+                    "recovery.wal_replay",
+                    name,
+                    node=ofm.node_id,
+                    actor=ofm.name,
+                    rows=rows,
+                )
             recovery = ofm.last_recovery
             assert recovery is not None
             report.in_doubt_resolved += len(recovery.in_doubt)
@@ -310,11 +334,22 @@ class RecoveryManager:
                     report.log_repairs += 1
                     report.committed_outcomes += 1
             if catch_up:
+                catchup_started = ofm.ready_at
                 caught_up, catchup_cost = self._catch_up(ofm)
                 if caught_up:
                     report.replica_catchups += 1
                     cost += catchup_cost
                     rows = len(ofm.table)
+                    if self._tracer is not None:
+                        self._tracer.span(
+                            catchup_started,
+                            ofm.ready_at,
+                            "recovery.catch_up",
+                            name,
+                            node=ofm.node_id,
+                            actor=ofm.name,
+                            rows=rows,
+                        )
             report.fragments_recovered += 1
             report.rows_restored += rows
             report.total_work_s += cost

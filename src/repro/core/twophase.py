@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.errors import MachineError, RecoveryError, TransactionAborted
 from repro.machine.machine import Machine
+from repro.obs.tracer import active
 from repro.pool.process import PoolProcess
 from repro.pool.runtime import PoolRuntime
 from repro.core.faults import CrashPoint, FaultInjector
@@ -131,6 +132,7 @@ class TwoPhaseCommit:
         self.commit_log = commit_log
         self.allow_one_phase = allow_one_phase
         self.faults = faults
+        self._tracer = active(runtime.tracer)
 
     def _crash_point(self, point: CrashPoint, txn_id: int) -> None:
         if self.faults is not None:
@@ -163,6 +165,7 @@ class TwoPhaseCommit:
             # cache (restart repairs the log from the participant when
             # a crash lands between the two; see RecoveryManager).
             ofm = participants[0]
+            started = coordinator.ready_at
             self._crash_point(
                 CrashPoint.ONE_PC_BEFORE_PARTICIPANT_COMMIT, txn.txn_id
             )
@@ -178,11 +181,22 @@ class TwoPhaseCommit:
             coordinator.advance_to(arrival)
             coordinator.charge(self.commit_log.record(txn.txn_id, "commit"))
             self._crash_point(CrashPoint.ONE_PC_AFTER_LOG_FORCE, txn.txn_id)
+            if self._tracer is not None:
+                self._tracer.span(
+                    started,
+                    coordinator.ready_at,
+                    "2pc.one_phase",
+                    f"txn{txn.txn_id}",
+                    node=coordinator.node_id,
+                    actor=coordinator.name,
+                    participants=1,
+                )
             return CommitOutcome(
                 txn.txn_id, True, 1, 2, coordinator.ready_at, one_phase=True
             )
 
         # Phase one: prepare round.
+        started = coordinator.ready_at
         self._crash_point(CrashPoint.TWO_PC_BEFORE_PREPARE, txn.txn_id)
         vote_arrivals = []
         prepared: list = []
@@ -201,14 +215,35 @@ class TwoPhaseCommit:
             if len(prepared) == 1:
                 self._crash_point(CrashPoint.TWO_PC_MID_PREPARE, txn.txn_id)
         coordinator.advance_to(max(vote_arrivals))
+        if self._tracer is not None:
+            self._tracer.span(
+                started,
+                coordinator.ready_at,
+                "2pc.prepare",
+                f"txn{txn.txn_id}",
+                node=coordinator.node_id,
+                actor=coordinator.name,
+                participants=len(participants),
+            )
         self._crash_point(CrashPoint.TWO_PC_AFTER_PREPARE, txn.txn_id)
 
         # Decision: force to the commit log before telling anyone.
+        force_started = coordinator.ready_at
         coordinator.charge(self.commit_log.record(txn.txn_id, "commit"))
+        if self._tracer is not None:
+            self._tracer.span(
+                force_started,
+                coordinator.ready_at,
+                "2pc.log_force",
+                f"txn{txn.txn_id}",
+                node=coordinator.node_id,
+                actor=coordinator.name,
+            )
         self._crash_point(CrashPoint.TWO_PC_AFTER_LOG_FORCE, txn.txn_id)
 
         # Phase two: decision + acks.  The decision is durable; dead
         # participants are merely unreached, not a correctness problem.
+        phase_two_started = coordinator.ready_at
         ack_arrivals = []
         unreached = 0
         delivered = 0
@@ -228,6 +263,17 @@ class TwoPhaseCommit:
                 self._crash_point(CrashPoint.TWO_PC_MID_PHASE_TWO, txn.txn_id)
         if ack_arrivals:
             coordinator.advance_to(max(ack_arrivals))
+        if self._tracer is not None:
+            self._tracer.span(
+                phase_two_started,
+                coordinator.ready_at,
+                "2pc.phase_two",
+                f"txn{txn.txn_id}",
+                node=coordinator.node_id,
+                actor=coordinator.name,
+                delivered=delivered,
+                unreached=unreached,
+            )
         return CommitOutcome(
             txn.txn_id,
             True,
@@ -266,6 +312,7 @@ class TwoPhaseCommit:
             if ofm.has_transaction_state(txn.txn_id)
         ]
         messages = 0
+        started = coordinator.ready_at
         self._crash_point(CrashPoint.ABORT_BEFORE_LOG, txn.txn_id)
         coordinator.charge(self.commit_log.record(txn.txn_id, "abort"))
         arrivals = [coordinator.ready_at]
@@ -288,6 +335,17 @@ class TwoPhaseCommit:
             if undone == 1:
                 self._crash_point(CrashPoint.ABORT_MID_UNDO, txn.txn_id)
         coordinator.advance_to(max(arrivals))
+        if self._tracer is not None:
+            self._tracer.span(
+                started,
+                coordinator.ready_at,
+                "2pc.abort",
+                f"txn{txn.txn_id}",
+                node=coordinator.node_id,
+                actor=coordinator.name,
+                undone=undone,
+                unreached=unreached,
+            )
         return CommitOutcome(
             txn.txn_id,
             False,

@@ -45,6 +45,7 @@ from repro.exec.expressions import (
     SCALAR_FUNCTIONS,
     columns_used,
 )
+from repro.obs.api import SnapshotMixin
 
 _COMPARISON_PY = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
@@ -225,7 +226,7 @@ def guard_call(fn: Callable, *args):
         raise ExpressionError(f"type error in compiled expression: {exc}") from None
 
 
-class ExpressionCompilerCache:
+class ExpressionCompilerCache(SnapshotMixin):
     """Per-OFM cache of compiled routines, keyed by *structural* hash.
 
     :class:`~repro.exec.expressions.Expr` defines value-based
@@ -257,6 +258,13 @@ class ExpressionCompilerCache:
             "hits": self.hits,
             "hit_rate": self.hit_rate,
         }
+
+    def reset(self) -> None:
+        self._predicates.clear()
+        self._projectors.clear()
+        self._keys.clear()
+        self.compilations = 0
+        self.hits = 0
 
     def predicate(self, expr: Expr) -> Callable[[Sequence[Any]], bool]:
         fn = self._predicates.get(expr)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ExecutionError
+from repro.obs.api import SnapshotMixin
 
 Row = tuple
 Rows = list
@@ -28,8 +29,12 @@ ProjectFn = Callable[[Row], Row]
 
 
 @dataclass
-class WorkMeter:
-    """Abstract work counters, converted to simulated seconds later."""
+class WorkMeter(SnapshotMixin):
+    """Abstract work counters, converted to simulated seconds later.
+
+    Also a :class:`~repro.obs.api.Snapshot`, so a meter can register in
+    an observatory or be fingerprinted like every other stats surface.
+    """
 
     tuples: float = 0.0
     hashes: float = 0.0
@@ -44,6 +49,18 @@ class WorkMeter:
         return WorkMeter(
             self.tuples * factor, self.hashes * factor, self.compares * factor
         )
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "tuples": self.tuples,
+            "hashes": self.hashes,
+            "compares": self.compares,
+        }
+
+    def reset(self) -> None:
+        self.tuples = 0.0
+        self.hashes = 0.0
+        self.compares = 0.0
 
 
 class JoinKind(enum.Enum):

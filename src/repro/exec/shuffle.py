@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro.obs.api import SnapshotMixin
+
 Splitter = Callable[[Sequence[tuple]], list[list]]
 
 _MASK = 0x7FFFFFFF
@@ -92,12 +94,13 @@ def compile_splitter(key_cols: Sequence[int], k: int) -> Splitter:
     return fn
 
 
-class SplitterCache:
+class SplitterCache(SnapshotMixin):
     """Per-executor cache of compiled splitters, keyed by shape.
 
     Shuffle shapes are few (key columns x target count), so the cache
     is unbounded; ``compilations``/``hits`` mirror the expression
-    compiler cache counters for observability.
+    compiler cache counters, and the cache implements the
+    :class:`~repro.obs.api.Snapshot` protocol like every other surface.
     """
 
     def __init__(self) -> None:
@@ -115,3 +118,16 @@ class SplitterCache:
         else:
             self.hits += 1
         return fn
+
+    def stats(self) -> dict[str, float]:
+        lookups = self.compilations + self.hits
+        return {
+            "compilations": self.compilations,
+            "hits": self.hits,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+    def reset(self) -> None:
+        self._splitters.clear()
+        self.compilations = 0
+        self.hits = 0

@@ -16,6 +16,8 @@ PL003     message-passing only: no cross-process attribute writes, no
 PL004     clock discipline: a function using ``PoolRuntime.send`` must
           charge CPU somewhere (or say where it is charged)
 PL005     no bare ``except:``; no silently swallowed ``MachineError``
+PL006     no host-time calls (``time.*``, any of them) inside ``obs``
+          span paths — trace timestamps are simulated time only
 ========  ==============================================================
 
 Run as ``python -m repro.lint <paths>``.  Escape hatch per file or per

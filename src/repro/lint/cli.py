@@ -13,6 +13,7 @@ from repro.lint.framework import LintError, Rule, lint_paths
 from repro.lint.report import render_json, render_statistics, render_text
 from repro.lint.rules_errors import ExceptionHygieneRule
 from repro.lint.rules_messaging import ClockDisciplineRule, SharedStateRule
+from repro.lint.rules_obs import ObsWallClockRule
 from repro.lint.rules_random import UnseededRandomRule
 from repro.lint.rules_time import WallClockRule
 
@@ -25,6 +26,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SharedStateRule,
     ClockDisciplineRule,
     ExceptionHygieneRule,
+    ObsWallClockRule,
 )
 
 

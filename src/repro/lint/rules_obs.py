@@ -1,0 +1,53 @@
+"""PL006 — no host-clock calls inside the observability layer.
+
+The tracer's whole determinism story rests on span/event timestamps
+being *simulated* time handed in by the instrumented sites
+(``EventLoop.now`` / ``PoolProcess.ready_at``).  One ``time.*`` call in
+a span path would stamp host time into trace records and break the
+byte-identical trace exports the CI trace-determinism job diffs.
+
+PL001 already bans the well-known wall-clock reads everywhere in the
+simulation tree; this rule is stricter and narrower: inside ``obs``
+packages it flags *any* call resolved to the ``time`` module — sleep,
+strftime, struct-time conversions, everything — because no part of the
+trace path has legitimate business with host time.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.framework import ImportMap, Rule, SourceFile, Violation
+
+__all__ = ["ObsWallClockRule"]
+
+
+def _is_obs_path(source: SourceFile) -> bool:
+    return "obs" in source.path_parts()
+
+
+class ObsWallClockRule(Rule):
+    """PL006: flag any ``time`` module call inside ``obs`` span paths."""
+
+    code = "PL006"
+    name = "obs-no-host-time"
+    hint = (
+        "the observability layer must be wall-clock free: timestamps are "
+        "simulated time passed in by instrumented sites, never read here"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        if not _is_obs_path(source):
+            return
+        imports = ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.resolve(node.func)
+            if origin is not None and (
+                origin == "time" or origin.startswith("time.")
+            ):
+                yield self.violation(
+                    source, node, f"host-time call in obs layer: {origin}()"
+                )

@@ -16,7 +16,7 @@ Public surface:
 from repro.machine.config import MachineConfig, paper_prototype, small_machine
 from repro.machine.disk import Disk, DiskStats
 from repro.machine.events import EventHandle, EventLoop
-from repro.machine.machine import Machine
+from repro.machine.machine import Machine, MachineNodesView
 from repro.machine.memory import MemoryAccount
 from repro.machine.network import NetworkStats, Packet, PacketNetwork
 from repro.machine.node import NodeStats, ProcessingElement
@@ -48,6 +48,7 @@ __all__ = [
     "LoopProfiler",
     "Machine",
     "MachineConfig",
+    "MachineNodesView",
     "MemoryAccount",
     "NetworkStats",
     "NodeStats",

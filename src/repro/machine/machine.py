@@ -24,6 +24,38 @@ from repro.machine.disk import Disk
 from repro.machine.node import ProcessingElement
 from repro.machine.router import Router
 from repro.machine.topology import Topology, build_topology
+from repro.obs.api import Observatory, SnapshotMixin
+
+
+class MachineNodesView(SnapshotMixin):
+    """Aggregate :class:`~repro.obs.api.Snapshot` over per-PE counters.
+
+    ``busy_total`` is the ``repr`` of the float sum of per-element busy
+    time — the exact string the executor perf gate pins in its
+    baselines, so routing the gate through this view changes nothing.
+    """
+
+    __slots__ = ("_machine",)
+
+    def __init__(self, machine: "Machine"):
+        self._machine = machine
+
+    def stats(self) -> dict[str, object]:
+        nodes = self._machine.nodes
+        return {
+            "n_nodes": len(nodes),
+            "busy_total": repr(sum(node.stats.busy_time_s for node in nodes)),
+            "tuples_processed": sum(n.stats.tuples_processed for n in nodes),
+            "messages_sent": sum(n.stats.messages_sent for n in nodes),
+            "messages_received": sum(n.stats.messages_received for n in nodes),
+            "bytes_sent": sum(n.stats.bytes_sent for n in nodes),
+            "bytes_received": sum(n.stats.bytes_received for n in nodes),
+            "processes_started": sum(n.stats.processes_started for n in nodes),
+        }
+
+    def reset(self) -> None:
+        for node in self._machine.nodes:
+            node.stats = type(node.stats)()
 
 
 class Machine:
@@ -54,6 +86,15 @@ class Machine:
         self._down_nodes: set[int] = set()
         self._down_links: set[tuple[int, int]] = set()
         self._fault_hops: dict[tuple[int, int], int] = {}
+        self._observatory: Observatory | None = None
+
+    def observe(self) -> Observatory:
+        """Machine-level observation facade (source ``nodes``)."""
+        if self._observatory is None:
+            observatory = Observatory()
+            observatory.register("nodes", MachineNodesView(self))
+            self._observatory = observatory
+        return self._observatory
 
     # -- structure ------------------------------------------------------------
 

@@ -39,6 +39,8 @@ from repro.machine.config import MachineConfig
 from repro.machine.events import EventLoop
 from repro.machine.router import Router
 from repro.machine.topology import Topology, build_topology
+from repro.obs.api import Observatory, SnapshotMixin
+from repro.obs.tracer import Tracer, active
 
 
 @dataclass(slots=True)
@@ -58,8 +60,13 @@ class Packet:
 
 
 @dataclass(slots=True)
-class NetworkStats:
-    """Counters accumulated by a :class:`PacketNetwork`."""
+class NetworkStats(SnapshotMixin):
+    """Counters accumulated by a :class:`PacketNetwork`.
+
+    Implements the :class:`~repro.obs.api.Snapshot` protocol; the hot
+    path keeps touching the slotted fields directly — the protocol is
+    the *reporting* surface, not the accumulation one.
+    """
 
     injected: int = 0
     delivered: int = 0
@@ -76,6 +83,30 @@ class NetworkStats:
     def mean_hops(self) -> float:
         return self.total_hops / self.delivered if self.delivered else 0.0
 
+    def stats(self) -> dict[str, object]:
+        return {
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "local": self.local,
+            "total_latency_s": self.total_latency_s,
+            "max_latency_s": self.max_latency_s,
+            "total_hops": self.total_hops,
+            "mean_latency_s": self.mean_latency_s(),
+            "mean_hops": self.mean_hops(),
+            "delivered_per_node": dict(self.delivered_per_node),
+        }
+
+    def reset(self) -> None:
+        self.injected = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.local = 0
+        self.total_latency_s = 0.0
+        self.max_latency_s = 0.0
+        self.total_hops = 0
+        self.delivered_per_node = {}
+
 
 class PacketNetwork:
     """Event-driven packet network over a topology.
@@ -90,6 +121,10 @@ class PacketNetwork:
         Maximum packets waiting on one link's output queue; ``None``
         means unbounded (open-loop measurement).  When bounded, excess
         packets are dropped and counted.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` recording per-hop
+        spans and deliver/drop events; ``None`` or a disabled tracer
+        collapses to a single ``is not None`` test per event.
     """
 
     def __init__(
@@ -98,6 +133,7 @@ class PacketNetwork:
         loop: EventLoop | None = None,
         queue_capacity: int | None = None,
         topology: Topology | None = None,
+        tracer: Tracer | None = None,
     ):
         self.config = config or MachineConfig()
         self.loop = loop or EventLoop()
@@ -131,6 +167,23 @@ class PacketNetwork:
         # One bound method reused for every hop event: creating a bound
         # method per schedule is an allocation the hot path cannot pay.
         self._arrive_cb = self._arrive
+        self.tracer = tracer
+        self._tracer = active(tracer)
+        self._observatory: Observatory | None = None
+
+    def observe(self) -> Observatory:
+        """The network's :class:`~repro.obs.api.Observatory` facade.
+
+        ``stats`` registers as a factory because
+        :meth:`start_measuring` replaces the stats object.
+        """
+        if self._observatory is None:
+            observatory = Observatory()
+            observatory.register("network", lambda: self.stats)
+            if self.tracer is not None:
+                observatory.register("tracer", self.tracer)
+            self._observatory = observatory
+        return self._observatory
 
     # -- measurement control ------------------------------------------------
 
@@ -190,6 +243,14 @@ class PacketNetwork:
                 # measurement window count toward the drop statistics.
                 if packet.injected_at >= self._measure_from:
                     self.stats.dropped += 1
+                if self._tracer is not None:
+                    self._tracer.event(
+                        now,
+                        "packet.drop",
+                        f"link{link_id}",
+                        node=node,
+                        packet=packet.packet_id,
+                    )
                 return
         next_free = self._link_next_free[link_id]
         depart = (next_free if next_free > now else now) + self._service_s
@@ -198,9 +259,29 @@ class PacketNetwork:
         self._link_enqueued[link_id] += 1
         packet.hops_taken += 1
         packet.node = self._link_dest[link_id]
-        self.loop.schedule_call_at(depart + self._switch_s, self._arrive_cb, packet)
+        arrival = depart + self._switch_s
+        self.loop.schedule_call_at(arrival, self._arrive_cb, packet)
+        if self._tracer is not None:
+            self._tracer.span(
+                now,
+                arrival,
+                "packet.hop",
+                f"link{link_id}",
+                node=node,
+                packet=packet.packet_id,
+                to=packet.node,
+            )
 
     def _deliver(self, packet: Packet) -> None:
+        if self._tracer is not None:
+            self._tracer.event(
+                self.loop.now,
+                "packet.deliver",
+                "deliver",
+                node=packet.destination,
+                packet=packet.packet_id,
+                hops=packet.hops_taken,
+            )
         if packet.injected_at < self._measure_from:
             return
         latency = self.loop.now - packet.injected_at

@@ -6,10 +6,17 @@ them into per-measurement snapshots the benchmark harnesses surface
 (events fired, events per wall-clock second, heap peak).
 
 The simulation tree itself is wall-clock free (prismalint PL001), so
-:class:`LoopProfiler` does not read the host clock: callers *inject* a
-clock callable — benchmark harnesses pass ``time.perf_counter`` — and a
-profiler without a clock still reports the deterministic counters with
-``wall_s = 0``.
+:class:`LoopProfiler` does not read the host clock: benchmark harnesses
+install one process-wide via
+:attr:`LoopProfiler.default_clock` (see
+``benchmarks/_harness.install_wall_clock``), or inject a clock callable
+per instance; a profiler without a clock still reports the
+deterministic counters with ``wall_s = 0``.
+
+A profiler is a :class:`~repro.obs.api.Snapshot`: ``stats()`` reports
+the finished profile (or a live delta view before ``__exit__``),
+``fingerprint()`` hashes only the deterministic fields (never
+``wall_s``), and ``reset()`` re-anchors at the loop's current state.
 
 Example
 -------
@@ -26,8 +33,10 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import asdict, dataclass
+from typing import Any, ClassVar
 
 from repro.machine.events import EventLoop
+from repro.obs.api import fingerprint_stats
 
 Clock = Callable[[], float]
 
@@ -66,14 +75,21 @@ class LoopProfiler:
     loop:
         The event loop to observe.
     clock:
-        Optional wall-clock callable (e.g. ``time.perf_counter``),
-        injected by benchmark harnesses; simulation code passes nothing
-        and gets deterministic counters only.
+        Optional wall-clock callable (e.g. ``time.perf_counter``).
+        When omitted, :attr:`default_clock` applies — benchmark
+        harnesses install one process-wide instead of threading the
+        callable through every call site; simulation code leaves both
+        unset and gets deterministic counters only.
     """
+
+    #: Process-wide fallback clock (``None`` = no wall timing).  Only
+    #: benchmark harnesses set this; library and simulation code never
+    #: read the host clock.
+    default_clock: ClassVar[Clock | None] = None
 
     def __init__(self, loop: EventLoop, clock: Clock | None = None):
         self.loop = loop
-        self.clock = clock
+        self.clock = clock if clock is not None else type(self).default_clock
         self.profile: LoopProfile | None = None
         self._fired_at_enter = 0
         self._sim_at_enter = 0.0
@@ -93,3 +109,34 @@ class LoopProfiler:
             sim_time_s=self.loop.now - self._sim_at_enter,
             wall_s=wall,
         )
+
+    # -- Snapshot protocol ----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The finished profile, or a live delta view before ``__exit__``."""
+        if self.profile is not None:
+            return self.profile.as_dict()
+        return LoopProfile(
+            events_fired=self.loop.events_fired_total - self._fired_at_enter,
+            heap_peak=self.loop.heap_peak,
+            sim_time_s=self.loop.now - self._sim_at_enter,
+            wall_s=0.0,
+        ).as_dict()
+
+    def fingerprint(self) -> str:
+        """Digest of the deterministic counters only.
+
+        ``wall_s`` / ``events_per_sec`` depend on the host and would
+        break same-seed reproducibility, so they are excluded.
+        """
+        stats = self.stats()
+        return fingerprint_stats(
+            {key: stats[key] for key in ("events_fired", "heap_peak", "sim_time_s")}
+        )
+
+    def reset(self) -> None:
+        """Drop the finished profile and re-anchor at the loop's state now."""
+        self.profile = None
+        self._fired_at_enter = self.loop.events_fired_total
+        self._sim_at_enter = self.loop.now
+        self._wall_at_enter = self.clock() if self.clock is not None else 0.0

@@ -19,6 +19,8 @@ from repro.errors import MachineError, MessageOwnershipError, ProcessCrashed
 from repro.machine.config import MachineConfig
 from repro.machine.events import EventLoop
 from repro.machine.machine import Machine
+from repro.obs.api import SnapshotMixin
+from repro.obs.tracer import Tracer, active
 from repro.pool.placement import PlacementPolicy, RoundRobin
 from repro.pool.process import PoolProcess
 from repro.pool.sanitizer import first_divergence, snapshot
@@ -32,8 +34,11 @@ RECEIVE_OVERHEAD_S = 2e-5
 
 
 @dataclass
-class RuntimeStats:
-    """Aggregate communication counters for one runtime."""
+class RuntimeStats(SnapshotMixin):
+    """Aggregate communication counters for one runtime.
+
+    A :class:`~repro.obs.api.Snapshot` like every other stats surface.
+    """
 
     processes_spawned: int = 0
     processes_terminated: int = 0
@@ -43,6 +48,26 @@ class RuntimeStats:
     local_messages: int = 0
     #: Reactive-style messages whose receiver was dead at delivery.
     dead_letters: int = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "processes_spawned": self.processes_spawned,
+            "processes_terminated": self.processes_terminated,
+            "processes_killed": self.processes_killed,
+            "messages": self.messages,
+            "bytes_moved": self.bytes_moved,
+            "local_messages": self.local_messages,
+            "dead_letters": self.dead_letters,
+        }
+
+    def reset(self) -> None:
+        self.processes_spawned = 0
+        self.processes_terminated = 0
+        self.processes_killed = 0
+        self.messages = 0
+        self.bytes_moved = 0
+        self.local_messages = 0
+        self.dead_letters = 0
 
 
 def _sanitize_from_env() -> bool:
@@ -70,6 +95,7 @@ class PoolRuntime:
         self,
         machine: Machine | MachineConfig | None = None,
         sanitize: bool | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if machine is None:
             machine = Machine()
@@ -79,6 +105,10 @@ class PoolRuntime:
         self.loop = EventLoop()
         self.stats = RuntimeStats()
         self.sanitize = _sanitize_from_env() if sanitize is None else sanitize
+        #: Raw tracer handle for collaborators (executor, commit,
+        #: recovery) that call :func:`repro.obs.tracer.active` on it.
+        self.tracer = tracer
+        self._tracer = active(tracer)
         self._default_placement = RoundRobin()
         self._processes: dict[str, PoolProcess] = {}
         self._name_counter = 0
@@ -206,6 +236,17 @@ class PoolRuntime:
         receiver.advance_to(arrival)
         receiver.charge(RECEIVE_OVERHEAD_S)
         self._count_message(sender, receiver, n_bytes)
+        if self._tracer is not None:
+            self._tracer.span(
+                departure,
+                arrival,
+                "process.send",
+                f"{sender.name}->{receiver.name}",
+                node=sender.node_id,
+                actor=sender.name,
+                bytes=n_bytes,
+                to_node=receiver.node_id,
+            )
         return receiver.ready_at
 
     def _count_message(
@@ -246,6 +287,18 @@ class PoolRuntime:
             departure = self.loop.now
             travel = 0.0
         arrival = max(departure + travel, self.loop.now)
+        if self._tracer is not None:
+            sender_name = sender.name if sender is not None else "<external>"
+            self._tracer.span(
+                departure,
+                arrival,
+                "process.post",
+                f"{sender_name}->{receiver.name}",
+                node=sender.node_id if sender is not None else receiver.node_id,
+                actor=sender_name,
+                bytes=n_bytes,
+                to_node=receiver.node_id,
+            )
         fingerprint = snapshot(payload) if self.sanitize else None
 
         def deliver() -> None:

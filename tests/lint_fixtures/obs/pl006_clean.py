@@ -1,0 +1,5 @@
+"""PL006 clean: records simulated timestamps handed in by callers."""
+
+
+def record(events: list, ts: float, kind: str, name: str) -> None:
+    events.append((ts, kind, name))

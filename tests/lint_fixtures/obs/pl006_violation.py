@@ -1,0 +1,12 @@
+"""PL006 violation: reads host time inside an obs span path."""
+
+import time
+from time import perf_counter as pc
+
+
+def span_start() -> float:
+    return time.monotonic()
+
+
+def span_end() -> float:
+    return pc()

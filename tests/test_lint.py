@@ -18,6 +18,7 @@ CASES = {
     "PL003": ("pool/pl003_clean.py", "pool/pl003_violation.py", 3),
     "PL004": ("pool/pl004_clean.py", "pool/pl004_violation.py", 1),
     "PL005": ("pl005_clean.py", "pl005_violation.py", 2),
+    "PL006": ("obs/pl006_clean.py", "obs/pl006_violation.py", 2),
 }
 
 

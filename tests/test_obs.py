@@ -1,0 +1,392 @@
+"""Observability layer (ISSUE 5): deterministic tracing, the Snapshot
+protocol, the metrics registry, and the ``observe()`` façades.
+
+The contracts under test are the ones CI leans on: same-seed runs
+produce byte-identical trace exports, the ring buffer bounds memory,
+disabled tracing allocates nothing in the tracer module, and every
+stats surface speaks the one Snapshot protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro import MachineConfig, PrismaDB
+from repro.core.faults import FaultInjector
+from repro.exec.compiler import ExpressionCompilerCache
+from repro.exec.operators import WorkMeter
+from repro.exec.shuffle import SplitterCache
+from repro.machine import MachineNodesView, PacketNetwork
+from repro.machine.events import EventLoop
+from repro.machine.network import NetworkStats
+from repro.machine.profile import LoopProfiler
+from repro.machine.traffic import run_load_point
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Observatory,
+    Snapshot,
+    Tracer,
+    active,
+    chrome_trace,
+    chrome_trace_json,
+    fingerprint_stats,
+    text_profile,
+)
+from repro.obs import tracer as tracer_module
+from repro.workloads import load_wisconsin
+
+MESH16 = MachineConfig(n_nodes=16, topology="mesh")
+DB_CONFIG = MachineConfig(n_nodes=8, disk_nodes=(0, 4))
+
+
+def traced_e1(seed: int, tracer: Tracer | None = None) -> Tracer:
+    tracer = tracer if tracer is not None else Tracer()
+    network = PacketNetwork(MESH16, tracer=tracer)
+    run_load_point(network, 3_000, warmup_s=0.002, measure_s=0.005, seed=seed)
+    return tracer
+
+
+def traced_queries(seed: int) -> tuple[Tracer, PrismaDB]:
+    tracer = Tracer()
+    db = PrismaDB(DB_CONFIG, tracer=tracer)
+    load_wisconsin(db, "wisc", 300, fragments=3, seed=seed)
+    db.quiesce()
+    db.execute("SELECT COUNT(*) FROM wisc WHERE fiftypercent = 0")
+    db.execute("SELECT COUNT(*) FROM wisc a JOIN wisc b ON a.unique1 = b.unique1")
+    return tracer, db
+
+
+# -- tracer core -------------------------------------------------------------
+
+
+def test_ring_buffer_bounds_memory_and_counts_drops():
+    tracer = Tracer(capacity=8)
+    for i in range(20):
+        tracer.event(float(i), "k", f"e{i}")
+    assert len(tracer) == 8
+    assert tracer.emitted == 20
+    assert tracer.dropped == 12
+    # Oldest records fell off the front; the newest survive.
+    assert [record[0] for record in tracer.events] == [float(i) for i in range(12, 20)]
+    tracer.reset()
+    assert tracer.emitted == 0 and len(tracer) == 0 and tracer.dropped == 0
+
+
+def test_tracer_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_active_collapses_missing_or_disabled_tracers():
+    assert active(None) is None
+    assert active(Tracer(enabled=False)) is None
+    enabled = Tracer()
+    assert active(enabled) is enabled
+
+
+def test_span_args_are_sorted_for_determinism():
+    tracer = Tracer()
+    tracer.span(1.0, 2.0, "k", "n", node=3, actor="a", zebra=1, apple=2)
+    (record,) = tracer.events
+    assert record == (1.0, 1.0, "k", "n", 3, "a", (("apple", 2), ("zebra", 1)))
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def test_same_seed_e1_traces_are_bit_identical():
+    first, second = traced_e1(11), traced_e1(11)
+    assert first.emitted > 0
+    assert first.fingerprint() == second.fingerprint()
+    assert chrome_trace_json(first) == chrome_trace_json(second)
+    assert text_profile(first) == text_profile(second)
+
+
+def test_different_seed_changes_the_trace():
+    assert traced_e1(11).fingerprint() != traced_e1(12).fingerprint()
+
+
+def test_same_seed_query_traces_are_bit_identical():
+    first, db1 = traced_queries(5)
+    second, db2 = traced_queries(5)
+    assert first.fingerprint() == second.fingerprint()
+    assert chrome_trace_json(first) == chrome_trace_json(second)
+    assert db1.observe().fingerprint() == db2.observe().fingerprint()
+
+
+def test_commit_and_recovery_kinds_are_traced():
+    tracer, db = traced_queries(5)
+    db.execute(
+        "CREATE TABLE t (k INT PRIMARY KEY, v INT) FRAGMENTED BY HASH(k) INTO 3"
+    )
+    session = db.session()
+    session.execute("BEGIN")
+    for key in range(6):
+        session.execute(f"INSERT INTO t VALUES ({key}, {key})")
+    session.execute("COMMIT")
+    db.crash()
+    db.restart()
+    kinds = {record[2] for record in tracer.events}
+    for expected in (
+        "operator.execute",
+        "executor.query",
+        "executor.repartition",
+        "process.send",
+        "2pc.prepare",
+        "2pc.log_force",
+        "2pc.phase_two",
+        "recovery.log_scan",
+        "recovery.wal_replay",
+    ):
+        assert expected in kinds, f"missing trace kind {expected!r}"
+
+
+# -- no-op mode --------------------------------------------------------------
+
+
+def test_disabled_tracer_records_nothing_and_changes_nothing():
+    plain = PacketNetwork(MESH16)
+    run_load_point(plain, 3_000, warmup_s=0.002, measure_s=0.005, seed=11)
+    disabled = Tracer(enabled=False)
+    traced = PacketNetwork(MESH16, tracer=disabled)
+    run_load_point(traced, 3_000, warmup_s=0.002, measure_s=0.005, seed=11)
+    assert disabled.emitted == 0
+    assert traced.stats.fingerprint() == plain.stats.fingerprint()
+
+
+def test_disabled_tracer_allocates_nothing_in_the_tracer_module():
+    disabled = Tracer(enabled=False)
+    network = PacketNetwork(MESH16, tracer=disabled)
+    tracemalloc.start()
+    try:
+        run_load_point(network, 2_000, warmup_s=0.002, measure_s=0.004, seed=3)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    in_tracer = snapshot.filter_traces(
+        [tracemalloc.Filter(True, tracer_module.__file__)]
+    )
+    assert sum(stat.size for stat in in_tracer.statistics("filename")) == 0
+
+
+# -- chrome-trace export -----------------------------------------------------
+
+
+def test_chrome_trace_schema():
+    tracer = Tracer()
+    tracer.span(0.001, 0.002, "process.send", "a->b", node=1, actor="a", bytes=64)
+    tracer.event(0.003, "packet.drop", "link7", node=2)
+    doc = chrome_trace(tracer)
+    assert doc["otherData"] == {"clock": "simulated", "dropped": 0, "emitted": 2}
+    span, instant = doc["traceEvents"]
+    assert span["ph"] == "X"
+    assert span["ts"] == pytest.approx(1_000.0)
+    assert span["dur"] == pytest.approx(1_000.0)
+    assert span["pid"] == 1 and span["tid"] == "a"
+    assert span["args"] == {"bytes": 64}
+    assert instant["ph"] == "i" and instant["s"] == "t"
+    assert instant["tid"] == "node2"
+    # The JSON export round-trips and is stable under re-serialisation.
+    parsed = json.loads(chrome_trace_json(tracer))
+    assert parsed == doc
+
+
+def test_text_profile_aggregates_and_footers():
+    tracer = Tracer(capacity=2)
+    for i in range(3):
+        tracer.span(0.0, 0.5, "k", "hot", node=i)
+    profile = text_profile(tracer, title="sample")
+    assert "sample" in profile
+    assert "hot" in profile
+    assert "records: 2 retained, 3 emitted, 1 dropped" in profile
+
+
+# -- Snapshot protocol -------------------------------------------------------
+
+
+def _snapshot_surfaces() -> dict[str, Snapshot]:
+    db = PrismaDB(DB_CONFIG, faults=FaultInjector(seed=1))
+    load_wisconsin(db, "wisc", 120, fragments=2, seed=2)
+    db.quiesce()
+    db.execute("SELECT COUNT(*) FROM wisc WHERE fiftypercent = 0")
+    meter = WorkMeter()
+    meter.tuples += 4
+    network = PacketNetwork(MESH16)
+    run_load_point(network, 2_000, warmup_s=0.002, measure_s=0.004, seed=3)
+    return {
+        "network": network.stats,
+        "runtime": db.runtime.stats,
+        "nodes": db.machine.observe().source("nodes"),
+        "work_meter": meter,
+        "splitters": db.gdh.executor.splitters,
+        "expressions": db.gdh.executor.evaluator.cache,
+        "faults": db.gdh.faults,
+        "metrics": db.gdh.executor.metrics,
+        "tracer": Tracer(),
+        "profiler": LoopProfiler(EventLoop()),
+    }
+
+
+def test_every_stats_surface_implements_snapshot():
+    for name, surface in _snapshot_surfaces().items():
+        assert isinstance(surface, Snapshot), name
+        stats = surface.stats()
+        assert hasattr(stats, "keys") and len(stats) > 0, name
+        first, second = surface.fingerprint(), surface.fingerprint()
+        assert first == second and len(first) == 64, name
+        surface.reset()  # must not raise; most surfaces zero out
+        assert isinstance(surface.fingerprint(), str), name
+
+
+def test_network_stats_reset_restores_fresh_fingerprint():
+    network = PacketNetwork(MESH16)
+    fresh = network.stats.fingerprint()
+    run_load_point(network, 2_000, warmup_s=0.002, measure_s=0.004, seed=3)
+    assert network.stats.fingerprint() != fresh
+    network.stats.reset()
+    assert network.stats.fingerprint() == fresh
+
+
+def test_fault_injector_fingerprint_payload_is_unchanged():
+    # The A4 baselines pin sha256(repr((seed, injections))) — the
+    # Snapshot retrofit must not have moved it.
+    import hashlib
+
+    injector = FaultInjector(seed=9)
+    expected = hashlib.sha256(repr((9, [])).encode()).hexdigest()
+    assert injector.fingerprint() == expected
+
+
+def test_fingerprint_stats_is_order_insensitive():
+    assert fingerprint_stats({"a": 1, "b": 2}) == fingerprint_stats({"b": 2, "a": 1})
+
+
+# -- observatory façades -----------------------------------------------------
+
+
+def test_database_observe_facade():
+    tracer = Tracer()
+    db = PrismaDB(DB_CONFIG, tracer=tracer)
+    load_wisconsin(db, "wisc", 120, fragments=2, seed=2)
+    db.quiesce()
+    db.execute("SELECT COUNT(*) FROM wisc")
+    obs = db.observe()
+    assert obs is db.observe()  # lazily built once
+    assert set(obs.sources()) == {
+        "runtime", "nodes", "faults", "shuffle", "expressions", "metrics", "tracer",
+    }
+    stats = obs.stats()
+    assert stats["runtime"]["messages"] > 0
+    assert stats["metrics"]["executor.queries"]["value"] == 1
+    # busy_total is byte-identical to the hand-summed repr the perf
+    # gate pinned its baselines with.
+    hand_summed = repr(sum(node.stats.busy_time_s for node in db.machine.nodes))
+    assert stats["nodes"]["busy_total"] == hand_summed
+    assert isinstance(obs.fingerprint(), str)
+
+
+def test_machine_observe_shares_the_nodes_view():
+    db = PrismaDB(DB_CONFIG)
+    view = db.machine.observe().source("nodes")
+    assert isinstance(view, MachineNodesView)
+    assert db.observe().source("nodes") is view
+
+
+def test_observatory_rejects_duplicate_sources():
+    obs = Observatory()
+    obs.register("x", Tracer())
+    with pytest.raises(ValueError):
+        obs.register("x", Tracer())
+    with pytest.raises(KeyError):
+        obs.source("missing")
+
+
+# -- metrics registry --------------------------------------------------------
+
+
+def test_metrics_counter_gauge_histogram():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.counter("c").inc(4)
+    registry.gauge("g").set(2.5)
+    hist = registry.histogram("h")
+    for value in (0, 3, 700, 10**9):
+        hist.observe(value)
+    stats = registry.stats()
+    assert stats["c"]["value"] == 5
+    assert stats["g"]["value"] == 2.5
+    assert stats["h"]["count"] == 4
+    assert stats["h"]["buckets"]["+inf"] == 1
+    assert registry.names() == ["c", "g", "h"]
+    registry.reset()
+    assert registry.stats()["c"]["value"] == 0
+    assert registry.stats()["h"]["count"] == 0
+
+
+def test_metrics_kind_mismatch_is_an_error():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    assert isinstance(registry.counter("x"), Counter)
+    assert isinstance(registry.gauge("y"), Gauge)
+    assert isinstance(registry.histogram("z"), Histogram)
+
+
+def test_executor_metrics_count_shuffles():
+    _, db = traced_queries(5)
+    stats = db.gdh.executor.metrics.stats()
+    assert stats["executor.queries"]["value"] == 2
+    # The unique1 join is not on the fragmentation column, so at least
+    # one side repartitioned.
+    assert stats["executor.repartitions"]["value"] >= 1
+
+
+# -- LoopProfiler default clock (the PL001-plumbing bugfix) ------------------
+
+
+def test_loop_profiler_uses_the_class_default_clock():
+    ticks = iter([1.0, 3.5])
+    saved = LoopProfiler.default_clock
+    LoopProfiler.default_clock = lambda: next(ticks)
+    try:
+        with LoopProfiler(EventLoop()) as profiler:
+            pass
+        assert profiler.profile.wall_s == 2.5
+    finally:
+        LoopProfiler.default_clock = saved
+
+
+def test_loop_profiler_without_any_clock_reports_zero_wall():
+    saved = LoopProfiler.default_clock
+    LoopProfiler.default_clock = None
+    try:
+        with LoopProfiler(EventLoop()) as profiler:
+            pass
+        assert profiler.profile.wall_s == 0.0
+        assert profiler.profile.events_per_sec == 0.0
+    finally:
+        LoopProfiler.default_clock = saved
+
+
+def test_loop_profiler_fingerprint_excludes_wall_time():
+    loop = EventLoop()
+    saved = LoopProfiler.default_clock
+    try:
+        LoopProfiler.default_clock = None
+        with LoopProfiler(loop) as without_clock:
+            pass
+        ticks = iter([0.0, 123.0])
+        LoopProfiler.default_clock = lambda: next(ticks)
+        with LoopProfiler(loop) as with_clock:
+            pass
+    finally:
+        LoopProfiler.default_clock = saved
+    assert with_clock.profile.wall_s == 123.0
+    assert without_clock.fingerprint() == with_clock.fingerprint()
