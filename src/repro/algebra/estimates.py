@@ -137,9 +137,9 @@ class Estimator:
         rows = len(plan.rows)
         ndv = []
         for position in range(len(plan.schema)):
-            ndv.append(float(len({row[position] for row in plan.rows})) or 1.0)
+            ndv.append(float(len({row[position] for row in plan.rows})) or 1.0)  # prismalint: disable=PL101 -- plan-time estimation over a literal VALUES list; optimizer work is not simulated execution
         row_bytes = (
-            sum(plan.schema.row_bytes(row) for row in plan.rows) / rows
+            sum(plan.schema.row_bytes(row) for row in plan.rows) / rows  # prismalint: disable=PL101 -- plan-time estimation over a literal VALUES list; optimizer work is not simulated execution
             if rows
             else plan.schema.average_row_bytes()
         )

@@ -115,7 +115,7 @@ def select_on_values(plan: PlanNode) -> PlanNode | None:
     if isinstance(plan, SelectNode) and isinstance(plan.child, ValuesNode):
         values = plan.child
         try:
-            rows = [
+            rows = [  # prismalint: disable=PL101 -- constant folding at plan time; optimizer work is not simulated execution
                 row for row in values.rows if evaluate_predicate(plan.predicate, row)
             ]
         except ExpressionError:
@@ -254,7 +254,7 @@ def project_on_values(plan: PlanNode) -> PlanNode | None:
     ):
         values = plan.child
         try:
-            rows = [
+            rows = [  # prismalint: disable=PL101 -- constant folding at plan time (<= 64 rows); optimizer work is not simulated execution
                 tuple(evaluate(e, row) for e in plan.exprs) for row in values.rows
             ]
         except ExpressionError:

@@ -51,7 +51,7 @@ class FragmentInfo:
 
 
 @dataclass
-class TableInfo:
+class TableInfo:  # prismalint: disable=PL103 -- stats() here returns optimizer TableStats, not an observability Snapshot
     """Dictionary entry for one relation."""
 
     name: str

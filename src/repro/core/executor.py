@@ -282,7 +282,7 @@ class DistributedExecutor:
         if not rows:
             return 0
         sample = rows[: min(len(rows), 50)]
-        per_row = sum(_value_bytes(row) for row in sample) / len(sample)
+        per_row = sum(_value_bytes(row) for row in sample) / len(sample)  # prismalint: disable=PL101 -- message sizing only; the send this feeds charges the network
         return int(per_row * len(rows)) + 16
 
     def _ship(
@@ -823,10 +823,13 @@ class DistributedExecutor:
         totals: list[set] = []
         delta_parts: list[Part] = []
         for part in total_rel.parts:
-            unique = set(map(tuple, part.rows))
+            # dict.fromkeys dedups in first-occurrence order: hash order
+            # must not leak into the delta rows (PL102) — string keys
+            # would make same-seed runs PYTHONHASHSEED-dependent.
+            unique_rows = list(dict.fromkeys(map(tuple, part.rows)))
             part.process.charge(self.machine.cpu_time(hashes=len(part.rows)))
-            totals.append(unique)
-            delta_parts.append(Part(part.process, list(unique)))
+            totals.append(set(unique_rows))
+            delta_parts.append(Part(part.process, unique_rows))
         delta = DistRelation(delta_parts, None)
 
         rounds = 0
@@ -921,7 +924,7 @@ def _any_schema(width: int) -> Schema:
 
 def _value_bytes(row: tuple) -> int:
     total = 0
-    for value in row:
+    for value in row:  # prismalint: disable=PL101 -- message sizing only; the send this feeds charges the network
         if value is None or isinstance(value, bool):
             total += 1
         elif isinstance(value, int):

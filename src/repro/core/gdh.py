@@ -862,7 +862,7 @@ class GlobalDataHandler:
     def _refresh_stats(self, txn: Transaction) -> None:
         """Recompute row counts for tables a transaction touched."""
         tables = {resource[0] for resource in txn.touched}
-        for name in tables:
+        for name in sorted(tables):
             if not self.catalog.has_table(name):
                 continue
             self.refresh_table_stats(name)
@@ -939,7 +939,7 @@ class GlobalDataHandler:
 def _rows_bytes(rows: list[tuple]) -> int:
     from repro.core.executor import _value_bytes
 
-    return sum(_value_bytes(row) for row in rows) + 16
+    return sum(_value_bytes(row) for row in rows) + 16  # prismalint: disable=PL101 -- message sizing only; the send this feeds charges the network
 
 
 def _row_equality(schema: Schema, row: tuple):

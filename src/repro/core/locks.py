@@ -158,7 +158,7 @@ class LockManager:
     def _would_deadlock(self, txn_id: int, new_blockers: set[int]) -> bool:
         """Would adding edges txn_id -> new_blockers close a cycle?"""
         # DFS from each blocker through existing wait-for edges.
-        stack = list(new_blockers)
+        stack = sorted(new_blockers)
         seen: set[int] = set()
         while stack:
             current = stack.pop()

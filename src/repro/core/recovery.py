@@ -62,6 +62,14 @@ class CrashReport:
     #: Names of processes killed by an element crash (sorted).
     processes_killed: list[str] = field(default_factory=list)
 
+    def stats(self) -> dict[str, float]:
+        return {
+            "at_time": self.at_time,
+            "aborted_transactions": len(self.aborted_transactions),
+            "fragments_lost": self.fragments_lost,
+            "processes_killed": len(self.processes_killed),
+        }
+
     def fingerprint(self) -> str:
         return _fingerprint(
             self.kind,
@@ -71,6 +79,11 @@ class CrashReport:
             self.fragments_lost,
             sorted(self.processes_killed),
         )
+
+    def reset(self) -> None:
+        self.aborted_transactions.clear()
+        self.fragments_lost = 0
+        self.processes_killed.clear()
 
 
 @dataclass
@@ -95,6 +108,19 @@ class RecoveryReport:
     #: copy (their WAL missed writes committed during the outage).
     replica_catchups: int = 0
 
+    def stats(self) -> dict[str, float]:
+        return {
+            "fragments_recovered": self.fragments_recovered,
+            "rows_restored": self.rows_restored,
+            "duration_s": self.duration_s,
+            "total_work_s": self.total_work_s,
+            "committed_outcomes": self.committed_outcomes,
+            "in_doubt_resolved": self.in_doubt_resolved,
+            "commit_log_scan_s": self.commit_log_scan_s,
+            "log_repairs": self.log_repairs,
+            "replica_catchups": self.replica_catchups,
+        }
+
     def fingerprint(self) -> str:
         return _fingerprint(
             self.fragments_recovered,
@@ -108,6 +134,17 @@ class RecoveryReport:
             self.replica_catchups,
         )
 
+    def reset(self) -> None:
+        self.fragments_recovered = 0
+        self.rows_restored = 0
+        self.duration_s = 0.0
+        self.total_work_s = 0.0
+        self.committed_outcomes = 0
+        self.in_doubt_resolved = 0
+        self.commit_log_scan_s = 0.0
+        self.log_repairs = 0
+        self.replica_catchups = 0
+
 
 @dataclass
 class InDoubtResolution:
@@ -118,10 +155,24 @@ class InDoubtResolution:
     aborted: int = 0
     log_repairs: int = 0
 
+    def stats(self) -> dict[str, float]:
+        return {
+            "resolved": self.resolved,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "log_repairs": self.log_repairs,
+        }
+
     def fingerprint(self) -> str:
         return _fingerprint(
             self.resolved, self.committed, self.aborted, self.log_repairs
         )
+
+    def reset(self) -> None:
+        self.resolved = 0
+        self.committed = 0
+        self.aborted = 0
+        self.log_repairs = 0
 
 
 class RecoveryManager:

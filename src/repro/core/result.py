@@ -1,5 +1,7 @@
 """Query results returned by the PRISMA facade."""
 
+# prismalint: disable=PL101 -- presentation layer: format_table renders for humans after execution; no simulated work happens here
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field

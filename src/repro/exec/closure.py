@@ -121,7 +121,7 @@ def smart_closure(edges: Sequence[Pair], meter: WorkMeter) -> FixpointResult:
         adjacency = _adjacency(total)
         meter.hashes += len(total)
         derived = set(total)
-        for a, b in total:
+        for a, b in total:  # prismalint: disable=PL102 -- derives into a set and counts tuples; order cannot reach results (_ordered sorts the output)
             for c in adjacency.get(b, ()):
                 derived.add((a, c))
                 meter.tuples += 1

@@ -110,7 +110,7 @@ class _Emitter:
             return f"(({inner}) {op} None)"
         if isinstance(expr, InList):
             values = set(v for v in expr.values if v is not None)
-            const = self.bind("inset", frozenset(values) if _hashable(values) else tuple(values))
+            const = self.bind("inset", frozenset(values) if _hashable(values) else tuple(values))  # prismalint: disable=PL102 -- membership-only constant; order cannot affect predicate results
             return f"(({self.scalar(expr.operand)}) in {const})"
         if isinstance(expr, Like):
             regex = self.bind("re", expr.regex())

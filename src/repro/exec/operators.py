@@ -530,12 +530,12 @@ def _aggregate_fast(
         counts: dict[tuple, int] = {}
         if group_key is None:
             counts[()] = 0
-            for _row in rows:
+            for _row in rows:  # prismalint: disable=PL101 -- charged closed-form in aggregate_rows() before dispatching here
                 counts[()] += 1
         else:
             get = counts.get
             try:
-                for row in rows:
+                for row in rows:  # prismalint: disable=PL101 -- charged closed-form in aggregate_rows() before dispatching here
                     key = group_key(row)
                     counts[key] = get(key, 0) + 1
             except (TypeError, ZeroDivisionError) as exc:
@@ -548,7 +548,7 @@ def _aggregate_fast(
         groups[()] = list(template)
     get = groups.get
     try:
-        for row in rows:
+        for row in rows:  # prismalint: disable=PL101 -- charged closed-form in aggregate_rows() before dispatching here
             key = group_key(row) if group_key is not None else ()
             state = get(key)
             if state is None:

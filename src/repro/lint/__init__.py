@@ -20,13 +20,37 @@ PL006     no host-time calls (``time.*``, any of them) inside ``obs``
           span paths — trace timestamps are simulated time only
 ========  ==============================================================
 
+The second generation (PL1xx) is **project-wide**: a
+:class:`~repro.lint.project.ProjectIndex` builds a symbol table, a
+one-level call graph, and per-function summaries over every linted
+file, so these rules see across module boundaries:
+
+========  ==============================================================
+PL101     unmetered work: loops over row collections in the charged
+          layers (exec/ofm/core/algebra) must bill a WorkMeter —
+          directly, by hand-off, or via a summary-known charging helper
+PL102     unordered iteration: no bare iteration over set-origin values
+          (hash order perturbs same-seed stats fingerprints); wrap in
+          ``sorted(...)``
+PL103     Snapshot conformance: anything exposing ``stats()`` /
+          ``fingerprint()`` implements the full stats/fingerprint/reset
+          triple with facade-callable signatures (``repro/obs/api.py``)
+PL104     static message ownership: a payload must not be mutated after
+          it was shipped with ``send``/``post`` (static complement of
+          the runtime sanitizer)
+========  ==============================================================
+
 Run as ``python -m repro.lint <paths>``.  Escape hatch per file or per
-line: ``# prismalint: disable=PL004 -- reason``.
+line: ``# prismalint: disable=PL004 -- reason`` (unknown codes in a
+pragma are themselves reported as PL000).  Pre-existing justified
+findings live in a committed machine-readable baseline
+(``prismalint-baseline.json``; see :mod:`repro.lint.baseline`).
 
 The runtime counterpart — the message-ownership sanitizer that catches
 what static analysis cannot — lives in :mod:`repro.pool.sanitizer`.
 """
 
+from repro.lint.baseline import Baseline, apply_baseline, write_baseline
 from repro.lint.cli import ALL_RULES, main
 from repro.lint.framework import (
     ImportMap,
@@ -35,15 +59,23 @@ from repro.lint.framework import (
     SourceFile,
     Violation,
     lint_paths,
+    registered_codes,
 )
+from repro.lint.project import ProjectIndex, ProjectRule
 
 __all__ = [
     "ALL_RULES",
+    "Baseline",
     "ImportMap",
     "LintError",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "SourceFile",
     "Violation",
+    "apply_baseline",
     "lint_paths",
     "main",
+    "registered_codes",
+    "write_baseline",
 ]

@@ -1,0 +1,155 @@
+"""Baseline (suppression) files: grandfather findings *explicitly*.
+
+When a new rule lands, pre-existing justified findings should not force
+a hundred pragmas through the tree, but they must not be silently
+dropped either.  A baseline file records them machine-readably: every
+entry names the path, rule code, and exact message it suppresses, plus
+a human reason — so the grandfathered set is reviewable in one place
+and shrinks visibly as findings get fixed.
+
+Matching is by ``(path, code, message)`` with a per-entry count, *not*
+by line number: messages carry the function/class names, so entries
+survive unrelated edits that shift lines, while any change to the
+finding itself (renamed function, new occurrence) surfaces again.
+
+Format (JSON, sorted, diff-friendly)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"path": "src/repro/...", "code": "PL102", "count": 1,
+         "message": "...", "reason": "why this is acceptable"}
+      ]
+    }
+
+``apply_baseline`` returns the violations that are *not* covered plus
+the stale entries (covering nothing any more) so the CLI can nag about
+dead weight without failing the run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.framework import LintError, Violation
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "apply_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding (or several identical ones)."""
+
+    path: str
+    code: str
+    message: str
+    count: int = 1
+    reason: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (_normalise(self.path), self.code, self.message)
+
+
+def _normalise(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+@dataclass
+class Baseline:
+    """A parsed baseline file."""
+
+    path: Path
+    entries: list[BaselineEntry]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintError(f"{path}: cannot read baseline: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintError(f"{path}: baseline is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+            raise LintError(
+                f"{path}: unsupported baseline (want {{'version': {_VERSION}}})"
+            )
+        entries: list[BaselineEntry] = []
+        for item in raw.get("entries", []):
+            if not isinstance(item, dict):
+                raise LintError(f"{path}: malformed baseline entry: {item!r}")
+            try:
+                entries.append(
+                    BaselineEntry(
+                        path=str(item["path"]),
+                        code=str(item["code"]).upper(),
+                        message=str(item["message"]),
+                        count=int(item.get("count", 1)),
+                        reason=str(item.get("reason", "")),
+                    )
+                )
+            except KeyError as exc:
+                raise LintError(
+                    f"{path}: baseline entry missing field {exc}: {item!r}"
+                ) from exc
+        return cls(path, entries)
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Baseline
+) -> tuple[list[Violation], list[BaselineEntry]]:
+    """Split *violations* against *baseline*.
+
+    Returns ``(remaining, stale)``: violations not covered by any entry,
+    and entries whose budget was not (fully) consumed — candidates for
+    deletion now the finding is fixed.
+    """
+    budget: Counter[tuple[str, str, str]] = Counter()
+    for entry in baseline.entries:
+        budget[entry.key()] += entry.count
+    remaining: list[Violation] = []
+    for violation in violations:
+        key = (_normalise(violation.path), violation.code, violation.message)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            remaining.append(violation)
+    stale = [entry for entry in baseline.entries if budget.get(entry.key(), 0) > 0]
+    return remaining, stale
+
+
+def write_baseline(
+    path: Path, violations: Sequence[Violation], reason: str
+) -> int:
+    """Write a fresh baseline covering *violations*; returns entry count.
+
+    Identical findings collapse into one counted entry.  Every entry is
+    stamped with *reason* — edit the file afterwards to give each its
+    real justification; an unexplained baseline defeats the point.
+    """
+    grouped: Counter[tuple[str, str, str]] = Counter(
+        (_normalise(v.path), v.code, v.message) for v in violations
+    )
+    entries = [
+        {
+            "path": key[0],
+            "code": key[1],
+            "message": key[2],
+            "count": count,
+            "reason": reason,
+        }
+        for key, count in sorted(grouped.items())
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", "utf-8")
+    return len(entries)

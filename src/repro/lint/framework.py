@@ -14,6 +14,9 @@ Disable comments come in two strengths:
 
 ``disable=all`` switches every rule off.  A reason after the codes is
 encouraged: ``# prismalint: disable=PL004 -- charged by the caller``.
+A pragma naming a rule code that no registered rule carries is itself
+reported (as ``PL000``) instead of being silently accepted — a typo'd
+``disable=PL102`` pragma that suppresses nothing is worse than noise.
 """
 
 from __future__ import annotations
@@ -23,8 +26,13 @@ import re
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.project import ProjectIndex
 
 __all__ = [
+    "PRAGMA_CODE",
     "ImportMap",
     "LintError",
     "Rule",
@@ -32,6 +40,7 @@ __all__ = [
     "Violation",
     "iter_python_files",
     "lint_paths",
+    "registered_codes",
 ]
 
 #: Directory names never descended into when a directory is linted.
@@ -51,6 +60,20 @@ DEFAULT_EXCLUDED_DIRS = frozenset(
 )
 
 _DISABLE_RE = re.compile(r"#\s*prismalint:\s*disable=([A-Za-z0-9, ]+)")
+
+#: Meta-code for problems with the pragmas themselves (unknown rule
+#: codes in a ``disable=`` list).  Not a selectable rule.
+PRAGMA_CODE = "PL000"
+
+#: Codes of every Rule subclass ever defined (auto-populated by
+#: ``Rule.__init_subclass__``); the vocabulary pragmas are checked
+#: against.
+_REGISTERED_CODES: set[str] = set()
+
+
+def registered_codes() -> frozenset[str]:
+    """Every rule code known to the framework (for pragma validation)."""
+    return frozenset(_REGISTERED_CODES)
 
 
 @dataclass(frozen=True)
@@ -75,10 +98,14 @@ class LintError(Exception):
     """A file could not be linted at all (I/O or syntax error)."""
 
 
-def _parse_disables(text: str) -> tuple[set[str], dict[int, set[str]]]:
-    """Extract file-level and line-level disable pragmas from source text."""
+def _parse_disables(
+    text: str,
+) -> tuple[set[str], dict[int, set[str]], list[tuple[int, str]]]:
+    """Extract file/line disable pragmas plus unknown-code problems."""
     file_disables: set[str] = set()
     line_disables: dict[int, set[str]] = {}
+    problems: list[tuple[int, str]] = []
+    known = registered_codes()
     for lineno, line in enumerate(text.splitlines(), start=1):
         match = _DISABLE_RE.search(line)
         if match is None:
@@ -88,12 +115,14 @@ def _parse_disables(text: str) -> tuple[set[str], dict[int, set[str]]]:
             for code in match.group(1).split(",")
             if code.strip()
         }
-        codes = {"ALL" if c == "ALL" else c for c in codes}
+        for code in sorted(codes):
+            if code != "ALL" and code not in known:
+                problems.append((lineno, code))
         if line[: match.start()].strip() == "":
             file_disables |= codes
         else:
             line_disables.setdefault(lineno, set()).update(codes)
-    return file_disables, line_disables
+    return file_disables, line_disables, problems
 
 
 @dataclass
@@ -105,6 +134,8 @@ class SourceFile:
     tree: ast.Module
     file_disables: set[str] = field(default_factory=set)
     line_disables: dict[int, set[str]] = field(default_factory=dict)
+    #: ``(lineno, code)`` for disable pragmas naming unknown rule codes.
+    pragma_problems: list[tuple[int, str]] = field(default_factory=list)
 
     @classmethod
     def load(cls, path: Path) -> "SourceFile":
@@ -118,8 +149,8 @@ class SourceFile:
             raise LintError(
                 f"{path}:{exc.lineno or 0}: syntax error: {exc.msg}"
             ) from exc
-        file_disables, line_disables = _parse_disables(text)
-        return cls(path, text, tree, file_disables, line_disables)
+        file_disables, line_disables, problems = _parse_disables(text)
+        return cls(path, text, tree, file_disables, line_disables, problems)
 
     def is_disabled(self, code: str, line: int) -> bool:
         for scope in (self.file_disables, self.line_disables.get(line, ())):
@@ -174,9 +205,17 @@ class Rule:
     """Base class: subclasses set ``code``/``name``/``hint`` and implement
     :meth:`check` to yield violations for one file."""
 
-    code: str = "PL000"
+    code: str = PRAGMA_CODE
     name: str = "abstract"
     hint: str = ""
+    #: Project-wide rules (see :class:`repro.lint.project.ProjectRule`)
+    #: flip this and receive a ProjectIndex in ``run``.
+    requires_project: bool = False
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.code != PRAGMA_CODE:
+            _REGISTERED_CODES.add(cls.code)
 
     def check(self, source: SourceFile) -> Iterator[Violation]:
         raise NotImplementedError
@@ -199,8 +238,14 @@ class Rule:
             hint=hint if hint is not None else self.hint,
         )
 
-    def run(self, source: SourceFile) -> Iterator[Violation]:
-        """Apply the rule, honouring disable pragmas."""
+    def run(
+        self, source: SourceFile, index: "ProjectIndex | None" = None
+    ) -> Iterator[Violation]:
+        """Apply the rule, honouring disable pragmas.
+
+        Per-file rules ignore *index*; :class:`ProjectRule` overrides
+        this to route through :meth:`check_project`.
+        """
         for violation in self.check(source):
             if not source.is_disabled(self.code, violation.line):
                 yield violation
@@ -227,11 +272,34 @@ def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
                 yield candidate
 
 
+def _pragma_violations(source: SourceFile) -> Iterator[Violation]:
+    """PL000 findings for disable pragmas naming unknown rule codes."""
+    for lineno, code in source.pragma_problems:
+        if source.is_disabled(PRAGMA_CODE, lineno):
+            continue
+        yield Violation(
+            path=str(source.path),
+            line=lineno,
+            col=1,
+            code=PRAGMA_CODE,
+            message=f"unknown rule code {code!r} in disable pragma",
+            hint=(
+                "this pragma suppresses nothing; fix the typo or drop the "
+                f"code (known codes: {', '.join(sorted(registered_codes()))})"
+            ),
+        )
+
+
 def lint_paths(
     paths: Sequence[Path | str],
     rules: Iterable[Rule],
 ) -> tuple[list[Violation], list[str]]:
     """Lint every Python file under *paths* with *rules*.
+
+    All files are parsed up front; if any rule is project-wide a
+    :class:`~repro.lint.project.ProjectIndex` is built over the whole
+    file set and shared, so cross-module rules see every symbol no
+    matter which file they are currently reporting on.
 
     Returns ``(violations, errors)`` where *errors* are files that could
     not be parsed (these should fail the run too).
@@ -239,13 +307,23 @@ def lint_paths(
     rules = list(rules)
     violations: list[Violation] = []
     errors: list[str] = []
+    sources: list[SourceFile] = []
     for path in iter_python_files(paths):
         try:
-            source = SourceFile.load(path)
+            sources.append(SourceFile.load(path))
         except LintError as exc:
             errors.append(str(exc))
-            continue
+    index: "ProjectIndex | None" = None
+    if any(rule.requires_project for rule in rules):
+        from repro.lint.project import ProjectIndex
+
+        index = ProjectIndex(sources)
+    for source in sources:
+        violations.extend(_pragma_violations(source))
         for rule in rules:
-            violations.extend(rule.run(source))
+            if rule.requires_project:
+                violations.extend(rule.run(source, index))
+            else:
+                violations.extend(rule.run(source))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations, errors

@@ -11,20 +11,42 @@ from repro.lint.framework import Violation
 __all__ = ["render_json", "render_statistics", "render_text"]
 
 
-def render_text(violations: Sequence[Violation], errors: Sequence[str]) -> str:
-    """GCC-style ``file:line:col: CODE message`` lines plus a summary."""
+def _per_rule_summary(violations: Sequence[Violation]) -> str:
+    counts = Counter(v.code for v in violations)
+    return ", ".join(f"{code} x{count}" for code, count in sorted(counts.items()))
+
+
+def render_text(
+    violations: Sequence[Violation],
+    errors: Sequence[str],
+    notes: Sequence[str] = (),
+) -> str:
+    """GCC-style ``file:line:col: CODE message`` lines plus a summary.
+
+    The failing summary line lists per-rule counts so a CI log tail is
+    enough to see *what kind* of regression landed.
+    """
     lines = [violation.render() for violation in violations]
     lines.extend(f"error: {error}" for error in errors)
+    lines.extend(f"note: {note}" for note in notes)
     if violations or errors:
         lines.append(
-            f"prismalint: {len(violations)} violation(s), {len(errors)} file error(s)"
+            f"prismalint: {len(violations)} violation(s)"
+            f" [{_per_rule_summary(violations)}]"
+            f", {len(errors)} file error(s)"
+            if violations
+            else f"prismalint: 0 violation(s), {len(errors)} file error(s)"
         )
     else:
         lines.append("prismalint: clean")
     return "\n".join(lines)
 
 
-def render_json(violations: Sequence[Violation], errors: Sequence[str]) -> str:
+def render_json(
+    violations: Sequence[Violation],
+    errors: Sequence[str],
+    notes: Sequence[str] = (),
+) -> str:
     """Stable machine-readable output (one object, sorted violations)."""
     payload = {
         "violations": [
@@ -39,6 +61,8 @@ def render_json(violations: Sequence[Violation], errors: Sequence[str]) -> str:
             for v in violations
         ],
         "errors": list(errors),
+        "notes": list(notes),
+        "counts": dict(Counter(v.code for v in violations)),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

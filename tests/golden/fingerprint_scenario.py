@@ -1,0 +1,70 @@
+"""Shared end-to-end scenario for the golden fingerprint pin.
+
+One deterministic mixed workload touching every subsystem the PL101/
+PL102 fixes under issue 6 grazed: aggregation kernels, transitive
+closure (both interfaces), multi-table transactions (statistics
+refresh), and the observability facade.  Both the golden test and the
+ad-hoc pre/post pinning runs import :func:`run_scenario` so they
+measure exactly the same thing.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import PrismaDB
+from repro.machine.config import MachineConfig
+
+
+def run_scenario() -> dict[str, str]:
+    """Run the workload; return per-source fingerprints + the facade's."""
+    db = PrismaDB(MachineConfig(n_nodes=8, disk_nodes=(0, 4)))
+    db.execute(
+        "CREATE TABLE orders (oid INT PRIMARY KEY, cust INT, amount FLOAT)"
+        " FRAGMENTED BY HASH(oid) INTO 4"
+    )
+    db.execute(
+        "CREATE TABLE customer (id INT PRIMARY KEY, name STRING, city STRING)"
+        " FRAGMENTED BY HASH(id) INTO 4"
+    )
+    db.execute(
+        "CREATE TABLE edge (src INT, dst INT) FRAGMENTED BY HASH(src) INTO 4"
+    )
+    cities = ["ams", "rtm", "utr", "ein", "ley"]
+    db.bulk_load(
+        "customer", [(i, f"cust{i}", cities[i % 5]) for i in range(40)]
+    )
+    db.bulk_load("orders", [(o, o % 11, float(o) * 1.5) for o in range(120)])
+    db.bulk_load(
+        "edge",
+        [(s, (s + 1) % 30) for s in range(30)]
+        + [(s, (s * 7) % 30) for s in range(30)],
+    )
+    db.execute("ANALYZE")
+    db.execute("SELECT cust, COUNT(*), SUM(amount) FROM orders GROUP BY cust")
+    db.execute(
+        "SELECT c.city, SUM(o.amount) FROM orders o, customer c"
+        " WHERE o.cust = c.id GROUP BY c.city"
+    )
+    db.execute("SELECT * FROM orders WHERE amount > 100 ORDER BY oid")
+    db.execute("SELECT src, dst FROM CLOSURE(edge)")
+    db.execute_prismalog(
+        """
+        reach(X, Y) :- edge(X, Y).
+        reach(X, Z) :- edge(X, Y), reach(Y, Z).
+        ? reach(X, Y).
+        """
+    )
+    db.execute("UPDATE orders SET amount = amount + 1 WHERE cust = 3")
+    db.execute("DELETE FROM orders WHERE oid >= 110")
+    db.execute("ANALYZE")
+    observatory = db.observe()
+    result = {
+        name: observatory.source(name).fingerprint()
+        for name in observatory.sources()
+    }
+    result["__facade__"] = observatory.fingerprint()
+    return result
+
+
+if __name__ == "__main__":
+    for name, digest in sorted(run_scenario().items()):
+        print(f"{name}: {digest}")

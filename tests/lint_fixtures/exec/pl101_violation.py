@@ -1,0 +1,14 @@
+"""PL101 violation: per-row work in a charged layer, nothing billed."""
+
+
+def count_nulls(rows):
+    nulls = 0
+    for row in rows:
+        for value in row:
+            if value is None:
+                nulls += 1
+    return nulls
+
+
+def widths(tuples):
+    return [max(0, item) for item in tuples]

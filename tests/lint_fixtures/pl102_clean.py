@@ -1,0 +1,22 @@
+"""PL102 clean: sets consumed only through order-independent paths."""
+
+
+def names_deterministic(table_names: set):
+    result = []
+    for name in sorted(table_names):
+        result.append(name)
+    return result
+
+
+def cardinality(values):
+    pending = {value for value in values}
+    return len(pending)
+
+
+def union(a: set, b: set):
+    # Set algebra keeps the result unordered; nothing ordered leaks.
+    return a | b
+
+
+def smallest(keys: frozenset):
+    return min(keys)

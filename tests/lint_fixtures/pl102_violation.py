@@ -1,0 +1,17 @@
+"""PL102 violation: hash-order set iteration leaking into ordered values."""
+
+
+def names_in_hash_order(table_names: set):
+    result = []
+    for name in table_names:
+        result.append(name)
+    return result
+
+
+def freeze(values):
+    pending = {value for value in values}
+    return list(pending)
+
+
+def first_two(keys: frozenset):
+    return [key for key in keys][:2]

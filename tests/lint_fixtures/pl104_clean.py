@@ -1,0 +1,20 @@
+"""PL104 clean: fresh object per message, or rebind before reuse."""
+
+
+def broadcast(runtime, receivers):
+    for receiver in receivers:
+        payload = {"rows": [1, 2]}
+        runtime.post(None, receiver, payload)
+
+
+def resend(channel):
+    message = [1, 2, 3]
+    channel.send(b"x", message=message)
+    message = [4, 5]
+    message[0] = 9
+
+
+def report_and_reset(runtime, node, stats):
+    snapshot = dict(stats)
+    runtime.post(None, node, snapshot)
+    stats.clear()

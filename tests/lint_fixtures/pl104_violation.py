@@ -1,0 +1,23 @@
+"""PL104 violation: payloads mutated after being sent."""
+
+
+def broadcast(runtime, receivers):
+    payload = {"rows": [1, 2]}
+    for receiver in receivers:
+        runtime.post(None, receiver, payload)
+    payload["rows"].append(3)
+
+
+def resend(channel):
+    message = [1, 2, 3]
+    channel.send(b"x", message=message)
+    message[0] = 9
+
+
+def scrub(report):
+    report.clear()
+
+
+def emit(runtime, node, report):
+    runtime.post(None, node, report)
+    scrub(report)

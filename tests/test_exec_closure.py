@@ -105,9 +105,9 @@ class TestGenericFixpoint:
 
         def step(total, delta):
             for a, b in delta:
-                for x, a2 in up:
+                for x, a2 in up:  # prismalint: disable=PL102 -- feeds a set-union fixpoint; asserted result is order-free
                     if a2 == a:
-                        for b2, y in down:
+                        for b2, y in down:  # prismalint: disable=PL102 -- feeds a set-union fixpoint; asserted result is order-free
                             if b2 == b:
                                 yield (x, y)
 

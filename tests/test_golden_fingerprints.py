@@ -1,0 +1,34 @@
+"""Golden end-to-end fingerprints for the issue-6 behavior-preserving fixes.
+
+``tests/golden/fingerprint_scenario.py`` drives one deterministic mixed
+workload across aggregation, transitive closure, transactions, and the
+observability facade — exactly the subsystems the PL101/PL102 lint
+fixes touched.  The digests below were pinned *before* those fixes and
+re-verified after (and under ``PYTHONHASHSEED=1`` and ``42``): the
+sorted()/dict.fromkeys() determinism repairs must be pure refactorings.
+
+If a deliberate behavior change moves these, re-pin with::
+
+    PYTHONPATH=src python tests/golden/fingerprint_scenario.py
+"""
+
+from tests.golden.fingerprint_scenario import run_scenario
+
+PINNED = {
+    "__facade__": "31b7329840a015e7455c2eb5ede72d2788b55fb78d1127299ba1d17e9f6dfc37",
+    "expressions": "465000eb957a2b55903f3e6b117a90f0a7d8708cfee2dd990e75ebd99d061816",
+    "faults": "ecffdbbb3f1d7e1f2cbb798288f3eebf849eba4a4c4aa3c6dd57edeeda6e2e07",
+    "metrics": "bfa0c7c777d7d3a53770a7646d0a3f711bdfbb64d42d582299161f5176d654ae",
+    "nodes": "8cc40392bc49e4c188590f7abb004f94de814f5fc8742659db3cde091203758a",
+    "runtime": "e6910616bc7839ad1102e61dadf4037d3405b168f3644b96a68ca5ae6ec252c8",
+    "shuffle": "774e6cb78e97524b91337e3f4e98ad312ba358efd12c8ffada4e5ba8dd8c5625",
+}
+
+
+def test_scenario_fingerprints_match_pins():
+    got = run_scenario()
+    assert got == PINNED
+
+
+def test_scenario_is_run_to_run_deterministic():
+    assert run_scenario() == run_scenario()

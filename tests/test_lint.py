@@ -19,6 +19,10 @@ CASES = {
     "PL004": ("pool/pl004_clean.py", "pool/pl004_violation.py", 1),
     "PL005": ("pl005_clean.py", "pl005_violation.py", 2),
     "PL006": ("obs/pl006_clean.py", "obs/pl006_violation.py", 2),
+    "PL101": ("exec/pl101_clean.py", "exec/pl101_violation.py", 3),
+    "PL102": ("pl102_clean.py", "pl102_violation.py", 3),
+    "PL103": ("pl103_clean.py", "pl103_violation.py", 3),
+    "PL104": ("pl104_clean.py", "pl104_violation.py", 3),
 }
 
 
@@ -130,3 +134,132 @@ def test_sourcefile_records_file_and_line_disables(tmp_path):
     assert source.is_disabled("PL005", 99)
     assert source.is_disabled("PL001", 2)
     assert not source.is_disabled("PL001", 3)
+
+
+def test_file_level_pragma_covers_whole_file(tmp_path):
+    src = tmp_path / "filewide.py"
+    src.write_text(
+        "# prismalint: disable=PL001 -- fixture exercises wall-clock calls\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.time()\n"
+    )
+    violations, _ = lint_paths([src], _rules("PL001"))
+    assert violations == []
+
+
+def test_disable_all_silences_every_rule(tmp_path):
+    src = tmp_path / "allowlist.py"
+    src.write_text(
+        "# prismalint: disable=all -- generated file\n"
+        "import time\n"
+        "import random\n"
+        "a = time.time()\n"
+        "b = random.random()\n"
+    )
+    violations, errors = lint_paths([src], [cls() for cls in ALL_RULES])
+    assert not errors
+    assert violations == []
+
+
+def test_pragma_with_multiple_codes_and_reason(tmp_path):
+    src = tmp_path / "multi.py"
+    src.write_text(
+        "import time\n"
+        "import random\n"
+        "x = (time.time(), random.random())"
+        "  # prismalint: disable=PL001, PL002 -- both justified here\n"
+    )
+    violations, _ = lint_paths([src], _rules("PL001") + _rules("PL002"))
+    assert violations == []
+
+
+def test_unknown_pragma_code_reported_as_pl000(tmp_path):
+    src = tmp_path / "typo.py"
+    # Concatenated so the repo-wide lint does not read this literal as a
+    # real (typo'd) pragma on this line of the test file itself.
+    src.write_text("x = 1  # prismalint: " + "disable=PL999 -- typo'd code\n")
+    violations, errors = lint_paths([src], _rules("PL001"))
+    assert not errors
+    assert [(v.code, v.line) for v in violations] == [("PL000", 1)]
+    assert "PL999" in violations[0].message
+
+
+def test_pl000_itself_can_be_disabled(tmp_path):
+    src = tmp_path / "meta.py"
+    src.write_text(
+        "x = 1  # prismalint: disable=PL999, PL000 -- transitional pragma\n"
+    )
+    violations, _ = lint_paths([src], _rules("PL001"))
+    assert violations == []
+
+
+def test_write_baseline_then_lint_against_it(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    violating = str(FIXTURES / "pl001_violation.py")
+    assert main([violating, "--select", "PL001", "--write-baseline", str(base)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    # Same findings, now grandfathered: exit 0, no stale notes.
+    assert main([violating, "--select", "PL001", "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert "stale" not in out
+
+
+def test_stale_baseline_entries_are_noted_not_fatal(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    violating = str(FIXTURES / "pl001_violation.py")
+    clean = str(FIXTURES / "pl001_clean.py")
+    assert main([violating, "--select", "PL001", "--write-baseline", str(base)]) == 0
+    capsys.readouterr()
+    # The baseline covers findings the clean file no longer has.
+    assert main([clean, "--select", "PL001", "--baseline", str(base)]) == 0
+    assert "stale" in capsys.readouterr().out
+
+
+def test_no_baseline_flag_shows_the_unfiltered_truth(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    violating = str(FIXTURES / "pl001_violation.py")
+    assert main([violating, "--select", "PL001", "--write-baseline", str(base)]) == 0
+    capsys.readouterr()
+    code = main(
+        [violating, "--select", "PL001", "--baseline", str(base), "--no-baseline"]
+    )
+    assert code == 1
+    assert "PL001" in capsys.readouterr().out
+
+
+def test_malformed_baseline_is_a_usage_error(tmp_path, capsys):
+    base = tmp_path / "bad.json"
+    base.write_text('{"version": 99}\n')
+    clean = str(FIXTURES / "pl001_clean.py")
+    assert main([clean, "--baseline", str(base)]) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_json_report_carries_counts_and_notes(tmp_path, capsys):
+    import json
+
+    base = tmp_path / "base.json"
+    violating = str(FIXTURES / "pl001_violation.py")
+    clean = str(FIXTURES / "pl001_clean.py")
+    assert main([violating, "--select", "PL001", "--write-baseline", str(base)]) == 0
+    capsys.readouterr()
+    assert (
+        main([clean, "--select", "PL001", "--baseline", str(base), "--format", "json"])
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violations"] == []
+    assert payload["counts"] == {}
+    assert any("stale" in note for note in payload["notes"])
+    assert main([violating, "--select", "PL001", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"].get("PL001", 0) >= 3
+
+
+def test_failing_summary_line_lists_per_rule_counts(capsys):
+    assert main([str(FIXTURES / "pl001_violation.py"), "--select", "PL001"]) == 1
+    summary = capsys.readouterr().out.strip().splitlines()[-1]
+    assert summary.startswith("prismalint:")
+    assert "PL001 x" in summary

@@ -84,7 +84,7 @@ def test_sanitizer_off_by_default_lets_mutation_slide(monkeypatch):
     recorder = runtime.spawn(Recorder)
     payload = {"n": 1}
     runtime.post(None, recorder, payload)
-    payload["n"] = 2
+    payload["n"] = 2  # prismalint: disable=PL104 -- intentional violation: proves the sanitizer is off by default
     runtime.run()
     assert recorder.received == [{"n": 2}]
 
@@ -95,7 +95,7 @@ def test_sanitizer_catches_mutate_after_send():
     receiver = runtime.spawn(Recorder, name="bob")
     payload = {"rows": [1, 2, 3]}
     runtime.post(sender, receiver, payload)
-    payload["rows"].append(4)
+    payload["rows"].append(4)  # prismalint: disable=PL104 -- intentional violation: the runtime sanitizer must catch this
     with pytest.raises(MessageOwnershipError) as excinfo:
         runtime.run()
     message = str(excinfo.value)
@@ -132,6 +132,6 @@ def test_external_sender_named_in_diagnostic():
     recorder = runtime.spawn(Recorder, name="sink")
     payload = [1, 2]
     runtime.post(None, recorder, payload)
-    payload[0] = 9
+    payload[0] = 9  # prismalint: disable=PL104 -- intentional violation: the runtime sanitizer must catch this
     with pytest.raises(MessageOwnershipError, match="<external>"):
         runtime.run()
