@@ -1,0 +1,115 @@
+"""Top-N shipping: fused heap top-N vs sort-then-limit (ISSUE 7).
+
+An ORDER BY + LIMIT query over a fragmented relation is where the
+fused ``TopNNode`` earns its keep in a *distributed* sense: with the
+fusion each site runs a bounded heap and ships only its best
+``limit + offset`` rows to the coordinator; without it each site ships
+its full sorted partition and the coordinator throws almost all of it
+away.  This bench runs the same query at several LIMIT values with the
+top-N rewrite rules present and absent (rules are injectable, so the
+A/B needs no code switch), and reports rows and bytes on the wire.
+
+Run::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_topn.py
+"""
+
+import pytest
+
+from repro import MachineConfig, PrismaDB
+from repro.algebra.optimizer import Optimizer
+from repro.algebra.rules import KNOWLEDGE_BASE
+from repro.workloads import load_wisconsin
+
+from _harness import report
+
+N_ROWS = 4_000
+FRAGMENTS = 8
+PARTITION_ROWS = N_ROWS // FRAGMENTS
+LIMITS = [5, 20, 100]
+TOPN_RULES = {"fuse_sort_limit", "push_limit_below_project", "push_topn_below_project"}
+
+
+def run_query(limit: int, fused: bool, monkeypatch) -> tuple:
+    import repro.core.gdh as gdh_module
+
+    rules = (
+        KNOWLEDGE_BASE
+        if fused
+        else tuple(r for r in KNOWLEDGE_BASE if r.name not in TOPN_RULES)
+    )
+    monkeypatch.setattr(
+        gdh_module,
+        "Optimizer",
+        lambda stats, options, _r=rules: Optimizer(stats, options, rules=_r),
+    )
+    db = PrismaDB(MachineConfig(n_nodes=16, disk_nodes=(0, 8)))
+    load_wisconsin(db, "wisc", N_ROWS, fragments=FRAGMENTS, seed=7)
+    db.quiesce()
+    result = db.execute(
+        f"SELECT unique1, stringu1 FROM wisc ORDER BY unique1 LIMIT {limit}"
+    )
+    return result
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    mp = pytest.MonkeyPatch()
+    try:
+        return {
+            limit: (run_query(limit, True, mp), run_query(limit, False, mp))
+            for limit in LIMITS
+        }
+    finally:
+        mp.undo()
+
+
+def test_topn_ships_fewer_bytes(sweep):
+    rows = []
+    for limit, (fused, unfused) in sweep.items():
+        assert fused.rows == unfused.rows
+        assert len(fused.rows) == limit
+        assert "TopN" in fused.report.plan_text
+        assert "TopN" not in unfused.report.plan_text
+        # Each remote site may ship at most `limit` rows once fused;
+        # unfused it ships its whole sorted partition.
+        assert fused.report.bytes_shipped < unfused.report.bytes_shipped
+        rows.append(
+            (
+                limit,
+                f"{unfused.report.bytes_shipped:,}",
+                f"{fused.report.bytes_shipped:,}",
+                f"{unfused.report.bytes_shipped / fused.report.bytes_shipped:.1f}x",
+                f"{unfused.response_time * 1000:.1f}",
+                f"{fused.response_time * 1000:.1f}",
+            )
+        )
+    report(
+        "TOPN",
+        f"fused heap top-N vs sort+limit, Wisconsin {N_ROWS} rows /"
+        f" {FRAGMENTS} fragments ({PARTITION_ROWS} rows per site)",
+        [
+            "LIMIT",
+            "sort+limit bytes",
+            "top-N bytes",
+            "ratio",
+            "sort+limit ms",
+            "top-N ms",
+        ],
+        rows,
+        notes=(
+            "Fused, every site ships at most LIMIT rows instead of its"
+            " full sorted partition; the byte ratio shrinks as LIMIT"
+            " approaches the partition size and vanishes past it."
+        ),
+    )
+
+
+def test_fused_beats_full_partition_shipping(sweep):
+    # The ISSUE 7 acceptance bound: for LIMIT < partition size the
+    # fused plan's wire charges stay strictly below full-partition
+    # shipping at every measured point.
+    for limit, (fused, unfused) in sweep.items():
+        if limit < PARTITION_ROWS:
+            assert fused.report.bytes_shipped < unfused.report.bytes_shipped
+            assert fused.response_time <= unfused.response_time

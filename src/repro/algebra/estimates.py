@@ -43,6 +43,7 @@ from repro.algebra.plan import (
     SetOpNode,
     SharedScanNode,
     SortNode,
+    TopNNode,
     TotalScanNode,
     ValuesNode,
 )
@@ -214,6 +215,16 @@ class Estimator:
         child = self.profile(plan.child)
         if plan.limit is not None:
             child.rows = min(child.rows, float(plan.limit))
+        return child
+
+    def _profile_TopNNode(self, plan: TopNNode) -> RelProfile:
+        # Sorting never changes cardinality; the fused limit caps it.
+        # (The CPU saving — n·log₂(offset+limit) heap compares instead
+        # of n·log₂(n) sort compares — is charged by the operator's
+        # WorkMeter at execution time; row counts are what the planner
+        # needs here for shipping estimates.)
+        child = self.profile(plan.child)
+        child.rows = min(child.rows, float(plan.limit))
         return child
 
     def _profile_ClosureNode(self, plan: ClosureNode) -> RelProfile:

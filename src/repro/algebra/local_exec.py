@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Callable, Mapping, Sequence
 
 from repro.errors import ExecutionError
+from repro.exec.batch import ColumnBatch
 from repro.exec.closure import (
     naive_closure,
     seminaive_closure,
@@ -27,15 +28,20 @@ from repro.exec.operators import (
     Row,
     WorkMeter,
     aggregate_rows,
+    aggregate_rows_batch,
     difference_rows,
     distinct_rows,
     hash_join,
+    hash_join_batch,
     intersect_rows,
     limit_rows,
     nested_loop_join,
     project_rows,
+    project_rows_batch,
     select_rows,
+    select_rows_batch,
     sort_rows,
+    top_n_rows,
     union_all_rows,
     union_rows,
 )
@@ -54,6 +60,7 @@ from repro.algebra.plan import (
     SetOpNode,
     SharedScanNode,
     SortNode,
+    TopNNode,
     TotalScanNode,
     ValuesNode,
 )
@@ -142,7 +149,13 @@ class LocalExecutor:
     # -- leaves ------------------------------------------------------------------
 
     def _run_ScanNode(self, plan: ScanNode) -> list[Row]:
-        rows = list(self._resolve_table(plan.table_name))
+        relation = self._resolve_table(plan.table_name)
+        # Tables may be stored row-major or as ColumnBatches; the plan
+        # boundary converts to the engine's row view (cached, one zip).
+        if isinstance(relation, ColumnBatch):
+            rows = list(relation.rows())
+        else:
+            rows = list(relation)
         self.meter.tuples += len(rows)
         return rows
 
@@ -179,16 +192,31 @@ class LocalExecutor:
 
     def _run_SelectNode(self, plan: SelectNode) -> list[Row]:
         rows = self.run(plan.child)
+        if self.evaluator.batch:
+            kernel, weight = self.evaluator.batch_predicate(plan.predicate)
+            return select_rows_batch(rows, kernel, self.meter, eval_weight=weight)
         predicate, weight = self.evaluator.predicate(plan.predicate)
         return select_rows(rows, predicate, self.meter, eval_weight=weight)
 
     def _run_ProjectNode(self, plan: ProjectNode) -> list[Row]:
         rows = self.run(plan.child)
+        if self.evaluator.batch:
+            kernel, weight = self.evaluator.batch_projector(plan.exprs)
+            return project_rows_batch(rows, kernel, self.meter, eval_weight=weight)
         projector, weight = self.evaluator.projector(plan.exprs)
         return project_rows(rows, projector, self.meter, eval_weight=weight)
 
     def _run_AggregateNode(self, plan: AggregateNode) -> list[Row]:
         rows = self.run(plan.child)
+        if (
+            self.evaluator.batch
+            and self.evaluator.compiled
+            and not any(a.distinct for a in plan.aggregates)
+        ):
+            kernel = self.evaluator.agg_kernel(
+                plan.group_cols, [(a.func, a.arg) for a in plan.aggregates]
+            )
+            return aggregate_rows_batch(rows, kernel, self.meter)
         group_key = self.evaluator.key(plan.group_cols) if plan.group_cols else None
         specs = []
         for aggregate in plan.aggregates:
@@ -203,6 +231,14 @@ class LocalExecutor:
         positions = [i for i, _ in plan.keys]
         directions = [d for _, d in plan.keys]
         return sort_rows(rows, positions, directions, self.meter)
+
+    def _run_TopNNode(self, plan: TopNNode) -> list[Row]:
+        rows = self.run(plan.child)
+        positions = [i for i, _ in plan.keys]
+        directions = [d for _, d in plan.keys]
+        return top_n_rows(
+            rows, positions, plan.limit, plan.offset, directions, self.meter
+        )
 
     def _run_DistinctNode(self, plan: DistinctNode) -> list[Row]:
         return distinct_rows(self.run(plan.child), self.meter)
@@ -241,6 +277,15 @@ class LocalExecutor:
         right_rows = self.run(plan.right)
         right_width = len(plan.right.schema)
         left_keys, right_keys, residual = plan.equi_keys()
+        if (
+            left_keys
+            and residual is None
+            and plan.kind is JoinKind.INNER
+            and self.evaluator.batch
+            and self.evaluator.compiled
+        ):
+            kernel = self.evaluator.join_kernel(left_keys, right_keys)
+            return hash_join_batch(left_rows, right_rows, kernel, self.meter)
         if left_keys:
             residual_fn = None
             if residual is not None:

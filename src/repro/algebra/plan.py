@@ -487,6 +487,54 @@ class LimitNode(PlanNode):
         return f"Limit[{self.limit} offset {self.offset}]"
 
 
+class TopNNode(PlanNode):
+    """Fused ORDER BY + LIMIT: the best ``limit`` rows after ``offset``.
+
+    Produced by the ``fuse_sort_limit`` rewrite, never by the binder.
+    Semantically identical to ``Limit(Sort(child))`` with the same keys,
+    but executable with a bounded heap — and, distributed, each site
+    ships only its best ``offset + limit`` rows instead of a full
+    sorted partition.
+    """
+
+    def __init__(
+        self, child: PlanNode, keys: Sequence[tuple[int, bool]], limit: int, offset: int = 0
+    ):
+        if not keys:
+            raise PlanError("top-n needs at least one sort key")
+        if limit < 0:
+            raise PlanError("LIMIT must be non-negative")
+        if offset < 0:
+            raise PlanError("OFFSET must be non-negative")
+        self.keys: tuple[tuple[int, bool], ...] = tuple(
+            (int(i), bool(d)) for i, d in keys
+        )
+        self.limit = int(limit)
+        self.offset = int(offset)
+        super().__init__((child,))
+        width = len(self.children[0].schema)
+        for index, _ in self.keys:
+            if not 0 <= index < width:
+                raise PlanError(f"top-n key {index} out of range")
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def _derive_schema(self) -> Schema:
+        return self.children[0].schema
+
+    def _key_payload(self) -> tuple:
+        return (self.keys, self.limit, self.offset)
+
+    def copy_with(self, children):
+        return TopNNode(children[0], self.keys, self.limit, self.offset)
+
+    def label(self) -> str:
+        keys = ", ".join(f"{i}{' DESC' if d else ''}" for i, d in self.keys)
+        return f"TopN[{keys} limit {self.limit} offset {self.offset}]"
+
+
 class ClosureNode(PlanNode):
     """Transitive closure of a binary relation (paper Section 2.5).
 

@@ -29,6 +29,7 @@ from repro.algebra.plan import (
     SetOpNode,
     SharedScanNode,
     SortNode,
+    TopNNode,
     TotalScanNode,
     ValuesNode,
 )
@@ -189,6 +190,16 @@ def _prune_limit(plan: LimitNode, needed: list[int]) -> tuple[PlanNode, dict[int
     return LimitNode(child, plan.limit, plan.offset), {i: mapping[i] for i in needed}
 
 
+def _prune_topn(plan: TopNNode, needed: list[int]) -> tuple[PlanNode, dict[int, int]]:
+    # Like Sort: the heap's own keys must survive pruning.
+    required = sorted(set(needed) | {i for i, _ in plan.keys})
+    child, mapping = _prune(plan.child, required)
+    keys = [(mapping[i], d) for i, d in plan.keys]
+    return TopNNode(child, keys, plan.limit, plan.offset), {
+        i: mapping[i] for i in needed
+    }
+
+
 def _prune_all_columns(plan: PlanNode, needed: list[int]) -> tuple[PlanNode, dict[int, int]]:
     """Operators whose semantics read every column (Distinct, SetOp,
     Closure, Fixpoint): recurse without narrowing."""
@@ -214,6 +225,7 @@ _HANDLERS = {
     AggregateNode: _prune_aggregate,
     SortNode: _prune_sort,
     LimitNode: _prune_limit,
+    TopNNode: _prune_topn,
     DistinctNode: _prune_all_columns,
     SetOpNode: _prune_all_columns,
     ClosureNode: _prune_all_columns,

@@ -30,11 +30,13 @@ from repro.exec.operators import JoinKind
 from repro.algebra.plan import (
     DistinctNode,
     JoinNode,
+    LimitNode,
     PlanNode,
     ProjectNode,
     SelectNode,
     SetOpNode,
     SortNode,
+    TopNNode,
     ValuesNode,
 )
 
@@ -264,6 +266,89 @@ def project_on_values(plan: PlanNode) -> PlanNode | None:
 
 
 # ---------------------------------------------------------------------------
+# Limit / top-N rules (modeled on opteryx's limit pushdown).
+# ---------------------------------------------------------------------------
+
+
+def fuse_sort_limit(plan: PlanNode) -> PlanNode | None:
+    """ORDER BY + LIMIT → one bounded-heap top-N operator.
+
+    Distributed, this is the rule that changes shipped bytes: each site
+    ships its best ``offset + limit`` rows instead of a whole sorted
+    partition.  Offset-only limits (``limit is None``) stay unfused —
+    a heap needs a finite bound.
+    """
+    if (
+        isinstance(plan, LimitNode)
+        and plan.limit is not None
+        and isinstance(plan.child, SortNode)
+    ):
+        sort = plan.child
+        return TopNNode(sort.child, sort.keys, plan.limit, plan.offset)
+    return None
+
+
+def _narrows(project: ProjectNode) -> bool:
+    """Does *project* emit fewer columns than it consumes?
+
+    Limit/top-N pushes below a projection trade projection CPU (fewer
+    rows projected) against *shipped width*: in the distributed
+    executor the per-site row cap happens wherever the limit/top-N
+    node sits, so cutting below a narrowing projection makes every
+    site ship pre-projection (wide) rows.  Pushing is only free when
+    the projection keeps the row at least as wide as its input.
+    """
+    return len(project.exprs) < len(project.child.schema)
+
+
+def push_limit_below_project(plan: PlanNode) -> PlanNode | None:
+    """Projections are 1:1, so cutting rows first is safe.
+
+    Moves the limit toward the scans (and, once it meets a sort,
+    :func:`fuse_sort_limit` takes over); the projection then runs on at
+    most ``offset + limit`` rows.  Narrowing projections block the move
+    — see :func:`_narrows` for the shipped-bytes argument.
+    """
+    if isinstance(plan, LimitNode) and isinstance(plan.child, ProjectNode):
+        project = plan.child
+        if _narrows(project):
+            return None
+        return ProjectNode(
+            LimitNode(project.child, plan.limit, plan.offset),
+            project.exprs,
+            project.names,
+        )
+    return None
+
+
+def push_topn_below_project(plan: PlanNode) -> PlanNode | None:
+    """Top-N moves below a projection when its keys are plain columns.
+
+    Row-wise projections preserve order and multiplicity, so when every
+    sort key maps to a ``ColumnRef`` of the projection the heap can cut
+    rows before the projection computes anything.  Computed sort keys
+    block the move (they only exist above the projection), and so do
+    narrowing projections — see :func:`_narrows`.
+    """
+    if not (isinstance(plan, TopNNode) and isinstance(plan.child, ProjectNode)):
+        return None
+    project = plan.child
+    if _narrows(project):
+        return None
+    remapped = []
+    for index, desc in plan.keys:
+        expr = project.exprs[index]
+        if not isinstance(expr, ColumnRef):
+            return None
+        remapped.append((expr.index, desc))
+    return ProjectNode(
+        TopNNode(project.child, remapped, plan.limit, plan.offset),
+        project.exprs,
+        project.names,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Join simplification.
 # ---------------------------------------------------------------------------
 
@@ -366,6 +451,21 @@ KNOWLEDGE_BASE: tuple[Rule, ...] = (
         "join_with_empty_values",
         "an inner join with an empty side is empty",
         join_with_empty_values,
+    ),
+    Rule(
+        "fuse_sort_limit",
+        "fuse ORDER BY + LIMIT into a bounded-heap top-N",
+        fuse_sort_limit,
+    ),
+    Rule(
+        "push_limit_below_project",
+        "cut rows before projecting (projections are 1:1)",
+        push_limit_below_project,
+    ),
+    Rule(
+        "push_topn_below_project",
+        "heap-cut rows before projecting when sort keys are plain columns",
+        push_topn_below_project,
     ),
 )
 

@@ -40,6 +40,7 @@ from repro.algebra.plan import (
     SetOpNode,
     SharedScanNode,
     SortNode,
+    TopNNode,
     ValuesNode,
 )
 from repro.core.catalog import Catalog
@@ -282,7 +283,7 @@ class DistributedExecutor:
         if not rows:
             return 0
         sample = rows[: min(len(rows), 50)]
-        per_row = sum(_value_bytes(row) for row in sample) / len(sample)  # prismalint: disable=PL101 -- message sizing only; the send this feeds charges the network
+        per_row = sum(map(_value_bytes, sample)) / len(sample)  # prismalint: disable=PL101 -- message sizing only; the send this feeds charges the network
         return int(per_row * len(rows)) + 16
 
     def _ship(
@@ -485,6 +486,35 @@ class DistributedExecutor:
         )
         return DistRelation([Part(self._query_process, rows)], None)
 
+    def _exec_TopNNode(self, plan: TopNNode) -> DistRelation:
+        child = self._exec(plan.child)
+        assert self._query_process is not None
+        keep = plan.limit + plan.offset
+        if len(child.parts) > 1:
+            # Every site heap-cuts to its best `keep` rows *before*
+            # shipping — the network saving the sort+limit fusion exists
+            # for.  Stability survives the cut: per-site output keeps
+            # equal-key rows in original order, sites gather in part
+            # order, and the final heap's index tie-break reproduces the
+            # global stable sort exactly.
+            template = TopNNode(_input_scan(plan.schema), plan.keys, keep, 0)
+            capped = [
+                Part(
+                    p.process,
+                    self._run_local(p.process, template, {"__in": p.rows}),
+                )
+                for p in child.parts
+            ]
+            child = DistRelation(capped, child.partition_cols)
+        gathered = self._gather(child, self._query_process, plan.schema)
+        template = TopNNode(
+            _input_scan(plan.schema), plan.keys, plan.limit, plan.offset
+        )
+        rows = self._run_local(
+            self._query_process, template, {"__in": gathered.parts[0].rows}
+        )
+        return DistRelation([Part(self._query_process, rows)], None)
+
     def _exec_DistinctNode(self, plan: DistinctNode) -> DistRelation:
         child = self._exec(plan.child)
         schema = plan.schema
@@ -539,6 +569,7 @@ class DistributedExecutor:
         # (repro.exec.shuffle); bucket assignment is bit-identical to the
         # interpreted ``_hash_key(row, key_cols) % k``.
         split = self._splitters.splitter(key_cols, k)
+        self._splitters.record_invocation(self.evaluator.batch)
         buckets: list[list] = [[] for _ in range(k)]
         for part in relation.parts:
             outgoing = split(part.rows)
@@ -925,7 +956,18 @@ def _any_schema(width: int) -> Schema:
 def _value_bytes(row: tuple) -> int:
     total = 0
     for value in row:  # prismalint: disable=PL101 -- message sizing only; the send this feeds charges the network
-        if value is None or isinstance(value, bool):
+        # Exact-type fast path first: nearly every wire value is a
+        # builtin int/str/float. bool subclasses int, so `type(...) is
+        # int` stays False for it and the slow chain keeps the 1-byte
+        # answer for bools, identical to the isinstance ladder.
+        t = type(value)
+        if t is int:
+            total += 4
+        elif t is str:
+            total += 2 + len(value)
+        elif t is float:
+            total += 8
+        elif value is None or isinstance(value, bool):
             total += 1
         elif isinstance(value, int):
             total += 4

@@ -27,10 +27,24 @@ def expression_weight(expr: Expr) -> float:
 
 
 class Evaluator:
-    """Produces row-level callables for predicates and projections."""
+    """Produces row-level and batch-level callables for expressions.
 
-    def __init__(self, compiled: bool = True, cache: ExpressionCompilerCache | None = None):
+    ``compiled`` selects the expression back-end (E5's ablation);
+    ``batch`` selects whether operators may use the whole-batch kernels
+    of :mod:`repro.exec.batch` instead of per-row calls.  Both default
+    on; flipping ``batch`` off restores the row-at-a-time loops for
+    A/B measurement (the ``columnar`` perf-gate suite does exactly
+    that).  Neither switch changes results or simulated charges.
+    """
+
+    def __init__(
+        self,
+        compiled: bool = True,
+        cache: ExpressionCompilerCache | None = None,
+        batch: bool = True,
+    ):
         self.compiled = compiled
+        self.batch = batch
         self.cache = cache or ExpressionCompilerCache()
 
     def predicate(self, expr: Expr) -> tuple[Callable[[Sequence[Any]], bool], float]:
@@ -62,3 +76,49 @@ class Evaluator:
         share the compiled, cached form.
         """
         return self.cache.key(positions)
+
+    # -- batch-at-a-time forms ------------------------------------------
+
+    def batch_predicate(
+        self, expr: Expr
+    ) -> tuple[Callable[[Sequence[tuple]], list], float]:
+        """A ``rows -> surviving rows`` kernel and the per-row weight.
+
+        The interpreted back-end still pays its per-row tree walk inside
+        the batch wrapper — E5's wall-clock interpretation overhead is
+        preserved — and its simulated weight keeps the interpretation
+        penalty.
+        """
+        weight = expression_weight(expr)
+        if self.compiled:
+            return self.cache.batch_predicate(expr), weight
+        fn = InterpretedPredicate(expr)
+        return (
+            lambda rows, _fn=fn: [row for row in rows if _fn(row)],
+            weight * INTERPRETATION_FACTOR,
+        )
+
+    def batch_projector(
+        self, exprs: Sequence[Expr]
+    ) -> tuple[Callable[[Sequence[tuple]], list], float]:
+        """A ``rows -> projected rows`` kernel and the per-row weight."""
+        weight = sum(expression_weight(e) for e in exprs)
+        if self.compiled:
+            return self.cache.batch_projector(exprs), weight
+        fn = InterpretedProjector(exprs)
+        return (lambda rows, _fn=fn: [_fn(row) for row in rows], weight * INTERPRETATION_FACTOR)
+
+    def join_kernel(self, left_keys: Sequence[int], right_keys: Sequence[int]) -> Callable:
+        """A cached INNER equi-join batch kernel (compiled-only form).
+
+        Callers gate on ``evaluator.compiled and evaluator.batch``;
+        like :meth:`key` there is nothing to interpret in a positional
+        hash join, so no interpreted variant exists.
+        """
+        return self.cache.join_kernel(left_keys, right_keys)
+
+    def agg_kernel(
+        self, group_cols: Sequence[int], aggregates: Sequence[tuple[str, Expr | None]]
+    ) -> Callable:
+        """A cached hash-aggregation batch kernel (compiled-only form)."""
+        return self.cache.agg_kernel(group_cols, aggregates)

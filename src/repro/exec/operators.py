@@ -109,6 +109,42 @@ def project_rows(
         raise ExecutionError(f"projection failed: {exc}") from None
 
 
+def select_rows_batch(
+    rows: Sequence[Row],
+    kernel: Callable[[Sequence[Row]], Rows],
+    meter: WorkMeter,
+    eval_weight: float = 1.0,
+) -> Rows:
+    """Filter a whole batch through one compiled kernel call.
+
+    Identical results and identical closed-form charges to
+    :func:`select_rows`; only the host-CPU shape differs (the predicate
+    code is inlined in the kernel's single pass, so there are no
+    per-row Python calls).
+    """
+    meter.tuples += len(rows)
+    meter.compares += len(rows) * eval_weight
+    try:
+        return kernel(rows)
+    except (TypeError, ZeroDivisionError) as exc:
+        raise ExecutionError(f"predicate failed: {exc}") from None
+
+
+def project_rows_batch(
+    rows: Sequence[Row],
+    kernel: Callable[[Sequence[Row]], Rows],
+    meter: WorkMeter,
+    eval_weight: float = 1.0,
+) -> Rows:
+    """Batch-at-a-time :func:`project_rows`: same rows, same charges."""
+    meter.tuples += len(rows)
+    meter.compares += len(rows) * eval_weight
+    try:
+        return kernel(rows)
+    except (TypeError, ZeroDivisionError) as exc:
+        raise ExecutionError(f"projection failed: {exc}") from None
+
+
 # ---------------------------------------------------------------------------
 # Joins.
 # ---------------------------------------------------------------------------
@@ -185,6 +221,26 @@ def hash_join(
         elif kind is JoinKind.ANTI:
             if not candidates:
                 append(row)
+    meter.tuples += len(output)
+    return output
+
+
+def hash_join_batch(
+    left: Sequence[Row],
+    right: Sequence[Row],
+    kernel: Callable[[Sequence[Row], Sequence[Row]], Rows],
+    meter: WorkMeter,
+) -> Rows:
+    """INNER equi-join via a compiled batch kernel (build + probe fused).
+
+    The kernel (see :func:`repro.exec.batch.compile_join_kernel`) builds
+    the hash table over *right* once and probes with a single
+    dict-lookup loop over *left* — key extraction inlined, no per-row
+    calls.  Output rows/order and meter charges are identical to the
+    :func:`hash_join` INNER fast path.
+    """
+    meter.hashes += len(right) + len(left)
+    output = kernel(left, right)
     meter.tuples += len(output)
     return output
 
@@ -355,6 +411,80 @@ def limit_rows(
     return list(rows[offset:end])
 
 
+class _Desc:
+    """Inverts the ordering of one sort-key component (descending keys).
+
+    Only ``__lt__``/``__eq__`` are needed: tuple comparison tests
+    elements with ``==`` first and decides with ``<``, and the appended
+    original-row index makes the full decorated key a total order.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return other.key == self.key
+
+
+def top_n_rows(
+    rows: Sequence[Row],
+    key_positions: Sequence[int],
+    limit: int,
+    offset: int = 0,
+    descending: Sequence[bool] | None = None,
+    meter: WorkMeter | None = None,
+) -> Rows:
+    """Fused ORDER BY + LIMIT via a bounded heap.
+
+    Produces exactly ``limit_rows(sort_rows(rows, ...), limit, offset)``
+    — including stability (ties resolve by original row position, the
+    same order repeated stable sorts give) — but keeps only the best
+    ``offset + limit`` candidates at any time, so the comparison charge
+    is ``n·log₂(min(n, offset+limit))`` per key column instead of the
+    full ``n·log₂(n)`` sort.  With ``offset+limit ≥ n`` the charge
+    degenerates to the sort formula: top-N is never charged more than
+    the sort it replaces.
+    """
+    if offset < 0 or limit < 0:
+        raise ExecutionError("LIMIT/OFFSET must be non-negative")
+    if descending is None:
+        descending = [False] * len(key_positions)
+    if len(descending) != len(key_positions):
+        raise ExecutionError("top-n: key/direction lists differ in length")
+    keep = offset + limit
+    n = len(rows)
+    if meter is not None:
+        meter.tuples += n
+        bound = min(n, keep)
+        if n >= 2 and bound >= 1:
+            import math
+
+            meter.compares += n * math.log2(max(2, bound)) * max(1, len(key_positions))
+    if keep == 0:
+        return []
+
+    directions = tuple(zip(key_positions, descending))
+
+    def decorated(item: tuple) -> tuple:
+        index, row = item
+        parts: list = []
+        for position, desc in directions:
+            key = _null_safe_key(row[position])
+            parts.append(_Desc(key) if desc else key)
+        parts.append(index)
+        return tuple(parts)
+
+    import heapq
+
+    smallest = heapq.nsmallest(keep, enumerate(rows), key=decorated)
+    return [row for _index, row in smallest[offset:]]
+
+
 # ---------------------------------------------------------------------------
 # Set operations (SQL semantics: UNION/INTERSECT/EXCEPT deduplicate).
 # ---------------------------------------------------------------------------
@@ -513,6 +643,28 @@ def aggregate_rows(
         output.append(
             tuple(key) + tuple(state.result(spec.func) for spec, state in zip(specs, states))
         )
+    meter.tuples += len(output)
+    return output
+
+
+def aggregate_rows_batch(
+    rows: Sequence[Row],
+    kernel: Callable[[Sequence[Row]], Rows],
+    meter: WorkMeter,
+) -> Rows:
+    """Non-DISTINCT hash aggregation through one compiled kernel call.
+
+    The kernel (see :func:`repro.exec.batch.compile_agg_kernel`) inlines
+    the argument expressions and keeps per-group flat accumulator slots;
+    rows, group order, float accumulation order, and meter charges are
+    identical to :func:`aggregate_rows` on the same specs.
+    """
+    meter.hashes += len(rows)
+    meter.tuples += len(rows)
+    try:
+        output = kernel(rows)
+    except (TypeError, ZeroDivisionError) as exc:
+        raise ExecutionError(f"aggregate argument failed: {exc}") from None
     meter.tuples += len(output)
     return output
 

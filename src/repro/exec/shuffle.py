@@ -74,9 +74,17 @@ def compile_splitter(key_cols: Sequence[int], k: int) -> Splitter:
         hash_expr = "0"
     else:
         hash_expr = _hash_snippet(key_cols[0])
-        for column in key_cols[1:]:
-            hash_expr = f"((({hash_expr}) * {_MULTIPLIER}) ^ {_hash_snippet(column)})"
-        hash_expr = f"(({hash_expr}) & {_MASK}) % {k}"
+        if len(key_cols) == 1:
+            # Both _hash_snippet branches are already masked to _MASK
+            # (stable_hash masks every arm), so the outer mask would be
+            # a no-op; dropping it saves one bit-op per row.
+            hash_expr = f"({hash_expr}) % {k}"
+        else:
+            for column in key_cols[1:]:
+                hash_expr = (
+                    f"((({hash_expr}) * {_MULTIPLIER}) ^ {_hash_snippet(column)})"
+                )
+            hash_expr = f"(({hash_expr}) & {_MASK}) % {k}"
     lines = [
         "def _split(rows):",
         f"    buckets = [{', '.join('[]' for _ in range(k))}]",
@@ -107,6 +115,12 @@ class SplitterCache(SnapshotMixin):
         self._splitters: dict[tuple[tuple[int, ...], int], Splitter] = {}
         self.compilations = 0
         self.hits = 0
+        #: Shuffles served while the engine ran batch kernels vs
+        #: row-at-a-time loops.  The split shows up in the Snapshot
+        #: fingerprint, so a perf bisection can tell from a recorded
+        #: trace which execution path produced a regression.
+        self.batch_invocations = 0
+        self.row_invocations = 0
 
     def splitter(self, key_cols: Sequence[int], k: int) -> Splitter:
         shape = (tuple(key_cols), k)
@@ -119,15 +133,26 @@ class SplitterCache(SnapshotMixin):
             self.hits += 1
         return fn
 
+    def record_invocation(self, batch: bool) -> None:
+        """Count one shuffle under the engine's current execution path."""
+        if batch:
+            self.batch_invocations += 1
+        else:
+            self.row_invocations += 1
+
     def stats(self) -> dict[str, float]:
         lookups = self.compilations + self.hits
         return {
             "compilations": self.compilations,
             "hits": self.hits,
             "hit_rate": self.hits / lookups if lookups else 0.0,
+            "batch_invocations": self.batch_invocations,
+            "row_invocations": self.row_invocations,
         }
 
     def reset(self) -> None:
         self._splitters.clear()
         self.compilations = 0
         self.hits = 0
+        self.batch_invocations = 0
+        self.row_invocations = 0

@@ -18,6 +18,19 @@ the :class:`~repro.lint.project.ProjectIndex` one-level call graph — no
 call to a helper that itself charges.  Generators that merely *produce*
 rows for a charged consumer should say so with a disable pragma naming
 the consumer, the same contract PL004 uses.
+
+Batch kernels (PR 7) are metered at the *batch* boundary: the operators
+of :mod:`repro.exec.operators` charge a whole batch's closed-form work
+in one place, then run a compiled kernel whose loop carries no meter of
+its own.  Two shapes are therefore recognized as metered without
+pragmas:
+
+* **kernel factories** — row loops inside a ``lambda``/closure that a
+  ``batch_*``/``*_kernel`` function *returns* (the loop is deferred;
+  whichever batch operator invokes the kernel charges per batch), and
+* **ColumnBatch layout conversion** — methods of the ``ColumnBatch``
+  container itself (row↔column materialization), whose cost the
+  consuming kernel's operator charges once per batch.
 """
 
 from __future__ import annotations
@@ -38,7 +51,42 @@ CHARGED_DIRS = frozenset({"algebra", "core", "exec", "ofm"})
 _ROWISH_RE = re.compile(r"(^|_)(row|rows|tuple|tuples|batch|batches)(_|$)")
 
 #: Row-collection type annotations.
-_ROWISH_ANNOTATION_RE = re.compile(r"\b(Rows|Row\]|Sequence\[Row)\b")
+_ROWISH_ANNOTATION_RE = re.compile(r"\b(Rows|Row\]|Sequence\[Row|ColumnBatch)\b")
+
+#: Functions that *produce* batch kernels rather than running row work:
+#: ``batch_*`` / ``*_batch`` names and ``*_kernel`` builders.
+_KERNEL_FACTORY_RE = re.compile(r"(^|_)batch(_|$)|_kernel$")
+
+#: The dual-representation batch container; its layout-conversion
+#: methods are charged by the batch operator that consumes the batch.
+_BATCH_CONTAINER = "ColumnBatch"
+
+
+def _returned_kernel_nodes(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[int]:
+    """ids of AST nodes whose execution is deferred into a returned kernel.
+
+    Covers ``lambda``s appearing in a ``return`` expression and nested
+    functions whose name a ``return`` mentions.
+    """
+    returned_names: set[str] = set()
+    deferred: set[int] = set()
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.Return) and node.value is not None):
+            continue
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.Lambda):
+                deferred.update(id(inner) for inner in ast.walk(sub))
+            elif isinstance(sub, ast.Name):
+                returned_names.add(sub.id)
+    if returned_names:
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.FunctionDef | ast.AsyncFunctionDef)
+                and node is not fn
+                and node.name in returned_names
+            ):
+                deferred.update(id(inner) for inner in ast.walk(node))
+    return deferred
 
 
 def _in_scope(source: SourceFile) -> bool:
@@ -134,9 +182,22 @@ class UnmeteredWorkRule(ProjectRule):
         for owner, fn in iter_functions(source.tree):
             if self._function_charges(fn, index):
                 continue
+            if owner == _BATCH_CONTAINER:
+                # Layout conversion inside the batch container: the
+                # batch operator consuming the result charges per batch.
+                continue
+            deferred: set[int] = (
+                _returned_kernel_nodes(fn)
+                if _KERNEL_FACTORY_RE.search(fn.name)
+                else set()
+            )
             rowish = _rowish_params(fn)
             qual = f"{owner}.{fn.name}" if owner else fn.name
             for node, what in _row_loops(fn, rowish):
+                if id(node) in deferred:
+                    # A kernel factory: the loop runs later, inside a
+                    # batch operator that charges once per batch.
+                    continue
                 yield self.violation(
                     source,
                     node,

@@ -391,12 +391,18 @@ class OneFragmentManager(PoolProcess):
             del remaining[i]
             break
         if candidates is None:
-            # No usable index: ordinary scan + filter.
+            # No usable index: ordinary scan + filter.  The batch kernel
+            # runs the whole fragment through one compiled pass (no
+            # per-row predicate calls); charges are identical either way.
             self._charge_disk_scan()
-            predicate, weight = self.evaluator.predicate(predicate_expr)
             meter = WorkMeter(tuples=len(self.table))
             try:
-                rows = [row for row in self.table.rows() if predicate(row)]
+                if self.evaluator.batch:
+                    kernel, weight = self.evaluator.batch_predicate(predicate_expr)
+                    rows = kernel(self.table.rows())
+                else:
+                    predicate, weight = self.evaluator.predicate(predicate_expr)
+                    rows = [row for row in self.table.rows() if predicate(row)]
             except (TypeError, ZeroDivisionError) as exc:
                 raise ExecutionError(f"predicate failed: {exc}") from None
             meter.compares += len(self.table) * weight
@@ -406,9 +412,13 @@ class OneFragmentManager(PoolProcess):
         meter = WorkMeter(hashes=1, tuples=len(rows))
         if remaining:
             residual = and_(*remaining)
-            predicate, weight = self.evaluator.predicate(residual)
             try:
-                rows = [row for row in rows if predicate(row)]
+                if self.evaluator.batch:
+                    kernel, weight = self.evaluator.batch_predicate(residual)
+                    rows = kernel(rows)
+                else:
+                    predicate, weight = self.evaluator.predicate(residual)
+                    rows = [row for row in rows if predicate(row)]
             except (TypeError, ZeroDivisionError) as exc:
                 raise ExecutionError(f"predicate failed: {exc}") from None
             meter.compares += len(candidates) * weight

@@ -20,3 +20,30 @@ def drain(process, rows):
     # call graph must see through this.
     charge_rows(process, rows)
     return [tuple(row) for row in rows]
+
+
+def batch_predicate(expr):
+    # A kernel factory: the row loop is deferred into the returned
+    # kernel, and the batch operator that invokes it charges per batch.
+    return lambda rows: [row for row in rows if row[0] == expr]
+
+
+def make_filter_kernel(value):
+    def _kernel(rows):
+        return [row for row in rows if row[1] > value]
+
+    return _kernel
+
+
+class ColumnBatch:
+    def __init__(self, rows):
+        self._rows = rows
+
+    def columns(self):
+        # Layout conversion in the batch container: charged by whichever
+        # batch operator consumes the result.
+        return [list(col) for col in zip(*self._rows)]
+
+    def take(self, selection):
+        rows = self._rows
+        return [rows[i] for i in selection]

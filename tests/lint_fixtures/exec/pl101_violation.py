@@ -12,3 +12,16 @@ def count_nulls(rows):
 
 def widths(tuples):
     return [max(0, item) for item in tuples]
+
+
+def batch_filter(rows, value):
+    # batch_* name alone is no license: this loop runs *here*, now,
+    # uncharged — only loops deferred into a returned kernel are exempt.
+    return [row for row in rows if row[0] == value]
+
+
+class BatchView:
+    # Not the ColumnBatch container: an arbitrary class looping over
+    # rows without a meter still pays.
+    def widths(self, rows):
+        return [len(row) for row in rows]

@@ -7,6 +7,22 @@ fixes touched.  The digests below were pinned *before* those fixes and
 re-verified after (and under ``PYTHONHASHSEED=1`` and ``42``): the
 sorted()/dict.fromkeys() determinism repairs must be pure refactorings.
 
+PR 7 (columnar batch engine) re-pinned exactly three digests, all of
+them cache-counter surfaces, and re-verified under ``PYTHONHASHSEED=1``
+and ``42``:
+
+* ``expressions`` — the compiler cache now also counts batch-kernel
+  compilations/hits (predicates, projectors, join and agg kernels).
+* ``shuffle`` — the splitter cache gained ``batch_invocations`` /
+  ``row_invocations`` counters distinguishing the execution path.
+* ``__facade__`` — the combined digest, which folds in both of the
+  above.
+
+``faults``/``metrics``/``nodes``/``runtime`` — every surface derived
+from the *simulated clock* (busy totals, message counts, shipped
+bytes, per-node work) — are byte-identical to the pre-batch pins,
+which is the proof that the batch kernels are behavior-preserving.
+
 If a deliberate behavior change moves these, re-pin with::
 
     PYTHONPATH=src python tests/golden/fingerprint_scenario.py
@@ -15,13 +31,13 @@ If a deliberate behavior change moves these, re-pin with::
 from tests.golden.fingerprint_scenario import run_scenario
 
 PINNED = {
-    "__facade__": "31b7329840a015e7455c2eb5ede72d2788b55fb78d1127299ba1d17e9f6dfc37",
-    "expressions": "465000eb957a2b55903f3e6b117a90f0a7d8708cfee2dd990e75ebd99d061816",
+    "__facade__": "f0ae2f45ca127ee2c9051c834a89522c7d2d108efae5360327879a3e153d7601",
+    "expressions": "d688df5def39a77a7403d730e6eecc3394c75618721cc10cfeccac08a4477bb8",
     "faults": "ecffdbbb3f1d7e1f2cbb798288f3eebf849eba4a4c4aa3c6dd57edeeda6e2e07",
     "metrics": "bfa0c7c777d7d3a53770a7646d0a3f711bdfbb64d42d582299161f5176d654ae",
     "nodes": "8cc40392bc49e4c188590f7abb004f94de814f5fc8742659db3cde091203758a",
     "runtime": "e6910616bc7839ad1102e61dadf4037d3405b168f3644b96a68ca5ae6ec252c8",
-    "shuffle": "774e6cb78e97524b91337e3f4e98ad312ba358efd12c8ffada4e5ba8dd8c5625",
+    "shuffle": "84eebeaf98364ac1388438fe50a1bbc4de1ab83719b223f825dce4e30d4ae6a7",
 }
 
 
