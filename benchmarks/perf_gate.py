@@ -28,6 +28,12 @@ baseline in ``benchmarks/perf_baseline.json``:
   produces the identical simulated fingerprint (the batch engine is a
   host-CPU strategy, never a semantics change) and reporting the
   batch-vs-row speedup.
+* **serving** — the concurrent-session serving layer (ISSUE 8): the
+  pinned ``bench_serving.py`` point (100 DBAPI sessions, Zipf mixed
+  OLTP/analytics, 8-slot admission, seed 42), gated on wall clock, on a
+  fingerprint of every operation's simulated latency plus plan-cache
+  and admission counters, and on the plan-cache hit rate staying above
+  the 0.8 floor.
 
 Wall-clock gates fail when the best-of-N wall time regresses by more
 than ``PERF_GATE_MAX_REGRESSION`` (default 0.30, i.e. 30 %) against the
@@ -47,6 +53,7 @@ Run::
     python benchmarks/perf_gate.py --suite executor
     python benchmarks/perf_gate.py --suite obs
     python benchmarks/perf_gate.py --suite columnar
+    python benchmarks/perf_gate.py --suite serving
     python benchmarks/perf_gate.py --update-baseline
 
 Writes ``benchmarks/results/bench_perf.json`` either way.
@@ -316,6 +323,95 @@ EXECUTOR_BENCHES = {
     "closure": run_exec_closure,
     "e8": run_exec_e8,
 }
+
+
+# ---------------------------------------------------------------------------
+# Serving suite: concurrent sessions through the DBAPI layer (ISSUE 8).
+# ---------------------------------------------------------------------------
+
+
+def run_serving_once() -> dict:
+    """One timed run of the pinned serving point (bench_serving.py)."""
+    from bench_serving import run_serving
+
+    start = time.perf_counter()
+    outcome = run_serving()
+    wall = time.perf_counter() - start
+    cache = outcome["plan_cache"]
+    admission = outcome["admission"]
+    return {
+        "wall_s": wall,
+        "hit_rate": cache["hit_rate"],
+        "throughput_ops": outcome["stats"]["throughput_ops"],
+        "fingerprint": {
+            # The report fingerprint hashes every operation's simulated
+            # latency; cache/admission counters pin the serving layer's
+            # own behavior (a hit-rate change is a regression even if
+            # latencies happened to survive it).
+            "report": outcome["fingerprint"],
+            "plan_cache": {
+                "lookups": cache["lookups"],
+                "hits": cache["hits"],
+                "misses": cache["misses"],
+                "entries": cache["entries"],
+            },
+            "admission": {
+                "admitted": admission["admitted"],
+                "delayed": admission["delayed"],
+                "total_wait_s": repr(admission["total_wait_s"]),
+            },
+        },
+    }
+
+
+def measure_serving(repeats: int) -> dict:
+    runs = [run_serving_once() for _ in range(repeats)]
+    fingerprints = [run["fingerprint"] for run in runs]
+    for fingerprint in fingerprints[1:]:
+        if fingerprint != fingerprints[0]:
+            raise AssertionError(
+                "serving bench is not deterministic across same-process"
+                f" repeats: {fingerprint} != {fingerprints[0]}"
+            )
+    best = min(runs, key=lambda run: run["wall_s"])
+    return {
+        "wall_s": best["wall_s"],
+        "wall_s_all": [round(run["wall_s"], 4) for run in runs],
+        "hit_rate": best["hit_rate"],
+        "throughput_ops": best["throughput_ops"],
+        "fingerprint": fingerprints[0],
+    }
+
+
+def check_serving_gates(
+    measured: dict, baseline: dict, wall_gate: bool
+) -> list[str]:
+    failures = []
+    entry = baseline.get("serving")
+    if entry is None:
+        failures.append("serving bench has no committed baseline")
+        return failures
+    if measured["fingerprint"] != entry["expected"]:
+        failures.append(
+            "serving fingerprint drift: latencies/cache/admission are no"
+            " longer bit-identical to the committed baseline — got"
+            f" {measured['fingerprint']}, pinned {entry['expected']};"
+            " regenerate benchmarks/perf_baseline.json deliberately"
+        )
+    if measured["hit_rate"] <= 0.8:
+        failures.append(
+            f"serving plan-cache hit rate {measured['hit_rate']:.3f} fell to"
+            " or below the 0.8 floor on the repeated-statement mix"
+        )
+    threshold = wall_threshold()
+    wall, base_wall = measured["wall_s"], entry["committed"]["wall_s"]
+    if wall_gate and wall > base_wall * (1 + threshold):
+        failures.append(
+            f"serving wall-clock regression: {wall:.3f}s vs baseline"
+            f" {base_wall:.3f}s (+{(wall / base_wall - 1) * 100:.1f}%,"
+            f" limit {threshold * 100:.0f}%)"
+        )
+    return failures
 
 
 def measure_executor(repeats: int) -> dict:
@@ -694,7 +790,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--suite",
-        choices=["all", "network", "executor", "obs", "columnar"],
+        choices=["all", "network", "executor", "obs", "columnar", "serving"],
         default="all",
         help="which benchmark family to run",
     )
@@ -857,6 +953,31 @@ def main(argv: list[str] | None = None) -> int:
         else:
             failures.extend(
                 check_columnar_gates(measured_col, baseline, not args.no_wall_gate)
+            )
+
+    if args.suite in ("all", "serving"):
+        measured_srv = measure_serving(args.repeats)
+        report["serving"] = measured_srv
+        print(
+            f"perf_gate[serving]: wall {measured_srv['wall_s']:.3f}s"
+            f"  {measured_srv['throughput_ops']:.1f} ops/s (simulated)"
+            f"  plan-cache hit rate {measured_srv['hit_rate']:.3f}"
+        )
+        if updating:
+            new_baseline["serving"] = {
+                "benchmark": (
+                    "100 concurrent DBAPI sessions, 800-op Zipf OLTP/analytics"
+                    " mix, 8-slot admission, seed 42 (bench_serving.py)"
+                ),
+                "committed": {
+                    "wall_s": round(measured_srv["wall_s"], 4),
+                    "host": platform.platform(),
+                },
+                "expected": measured_srv["fingerprint"],
+            }
+        else:
+            failures.extend(
+                check_serving_gates(measured_srv, baseline, not args.no_wall_gate)
             )
 
     if updating:

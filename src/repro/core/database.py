@@ -53,9 +53,29 @@ class Session:
     def in_transaction(self) -> bool:
         return self._state.txn is not None
 
+    def advance_clock(self, seconds: float) -> None:
+        """Model client-side think time: push this session forward."""
+        if seconds > 0.0:
+            self._state.clock += seconds
+
     def execute(self, sql: str) -> QueryResult:
         """Run one SQL statement in this session."""
         return self._db.gdh.execute_sql(sql, self._state)
+
+    def execute_statement(
+        self, statement, sql_text: str = "", cached: bool = False
+    ) -> QueryResult:
+        """Run one already-parsed statement through the GDH entry point.
+
+        Scripts and the serving layer use this instead of calling the
+        GDH directly, so per-statement accounting and admission control
+        see every statement regardless of how it arrived.  ``cached``
+        marks a plan-cache hit: the simulated front-end charge collapses
+        to one cache lookup.
+        """
+        return self._db.gdh.execute_statement(
+            statement, self._state, sql_text, cached
+        )
 
     def query(self, sql: str) -> list[tuple]:
         """Run a SELECT and return just its rows."""
@@ -73,6 +93,10 @@ class Session:
     def execute_prismalog(self, program: str) -> list[QueryResult]:
         """Run a PRISMAlog program; one result per ``? query.``."""
         return self._db.run_prismalog(program, self._state)
+
+    def close(self) -> None:
+        """End the session, rolling back any open transaction."""
+        self._db.gdh.close_session(self._state)
 
 
 class PrismaDB:
@@ -142,6 +166,17 @@ class PrismaDB:
         """Open a new client session."""
         return Session(self, self.gdh.new_session())
 
+    def connect(self, autocommit: bool = True):
+        """Open a DBAPI-shaped :class:`repro.serve.Connection`.
+
+        Installs the serving layer's plan cache on the GDH as a side
+        effect (first call only).  Imported lazily: ``repro.core`` never
+        depends on ``repro.serve`` unless a connection is asked for.
+        """
+        from repro.serve import connect
+
+        return connect(self, autocommit=autocommit)
+
     # -- statement execution -------------------------------------------------------
 
     def execute(self, sql: str) -> QueryResult:
@@ -153,14 +188,10 @@ class PrismaDB:
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Run a ``;``-separated script in the default session."""
-        results = []
-        for statement in parse_script(sql):
-            results.append(
-                self.gdh.execute_statement(
-                    statement, self._default_session._state
-                )
-            )
-        return results
+        return [
+            self._default_session.execute_statement(statement)
+            for statement in parse_script(sql)
+        ]
 
     def execute_prismalog(self, program: str) -> list[QueryResult]:
         return self._default_session.execute_prismalog(program)
@@ -319,14 +350,15 @@ class PrismaDB:
         return count
 
     def quiesce(self) -> float:
-        """Advance the default session and the GDH to the machine-wide
+        """Advance every open session and the GDH to the machine-wide
         horizon — i.e. let all in-flight background work finish before
-        the next measured statement starts."""
+        the next measured statement starts.  (All sessions, not just the
+        default one: a multi-session benchmark quiescing after setup
+        must not start measured statements in the past.)"""
         horizon = self.runtime.horizon()
         self.gdh.gdh_process.advance_to(horizon)
-        self._default_session._state.clock = max(
-            self._default_session._state.clock, horizon
-        )
+        for state in self.gdh.sessions.values():
+            state.clock = max(state.clock, horizon)
         return horizon
 
     # -- durability --------------------------------------------------------------------

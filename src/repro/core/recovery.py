@@ -194,7 +194,13 @@ class RecoveryManager:
         report = CrashReport(at_time=at, kind="machine")
         # In-flight transactions simply vanish (their locks with them);
         # undo happens later from the logs, not from volatile chains.
+        # Mark them ABORTED so a session still pointing at one fails its
+        # next commit/rollback with TransactionAborted instead of running
+        # the two-phase protocol on an untracked transaction.  (No
+        # counter bump: these are crash casualties, not protocol aborts.)
         report.aborted_transactions = sorted(gdh.txns.active)
+        for txn in gdh.txns.active.values():
+            txn.state = TxnState.ABORTED
         gdh.txns.active.clear()
         from repro.core.locks import LockManager
 

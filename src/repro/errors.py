@@ -165,3 +165,12 @@ class MessageOwnershipError(MachineError):
 
 class RecoveryError(PrismaError):
     """Log corruption or an impossible state during restart recovery."""
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer errors.
+# ---------------------------------------------------------------------------
+
+
+class InterfaceError(PrismaError):
+    """The DBAPI surface was misused (closed connection/cursor, no result)."""

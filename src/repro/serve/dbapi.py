@@ -1,0 +1,276 @@
+"""DBAPI-shaped ``Connection``/``Cursor`` over a :class:`PrismaDB` session.
+
+The shape follows PEP 249 where it makes sense for a simulated engine —
+``execute``/``executemany`` with ``?`` (qmark) parameters, ``fetchone``/
+``fetchmany``/``fetchall``, ``description``/``rowcount`` — without
+pretending to be a driver: there is no network, rows are already
+materialized tuples, and simulated time lives on the underlying session.
+
+Every statement funnels through the plan cache installed on the GDH
+(:func:`install_serving`): the bound token stream is the cache key, a
+hit replays the cached :class:`~repro.core.gdh.PreparedSelect` (charging
+one cache lookup instead of parse + optimize), a miss parses/prepares
+and populates the cache.  Prepared statements
+(:meth:`Connection.prepare`) additionally skip re-tokenizing the
+template on the host.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import InterfaceError
+from repro.core.gdh import PreparedSelect
+from repro.serve.admission import AdmissionQueue
+from repro.serve.params import bind_parameters, statement_key, template_tokens
+from repro.serve.plancache import DEFAULT_CAPACITY, PlanCache
+from repro.sql import ast as sql_ast
+from repro.sql.lexer import Token
+from repro.sql.parser import parse_tokens
+
+__all__ = ["Connection", "Cursor", "PreparedStatement", "connect", "install_serving"]
+
+#: Statements that manage the transaction themselves; the manual-commit
+#: mode must not open an implicit transaction around these.
+_TXN_CONTROL = (sql_ast.BeginStmt, sql_ast.CommitStmt, sql_ast.RollbackStmt)
+
+
+def install_serving(
+    db,
+    admission_slots: int | None = None,
+    plan_cache_capacity: int = DEFAULT_CAPACITY,
+) -> tuple[PlanCache, AdmissionQueue | None]:
+    """Install the serving hooks on *db*'s GDH (idempotent).
+
+    Creates the plan cache on first call and, when *admission_slots* is
+    given, the admission queue; both register as Observatory sources so
+    ``db.observe()`` reports hit rates and queue waits alongside every
+    other surface.  The hooks stay ``None`` until this runs, so a
+    database that never serves keeps its exact pre-serving behavior
+    (and fingerprints).
+    """
+    gdh = db.gdh
+    if gdh.plan_cache is None:
+        gdh.plan_cache = PlanCache(plan_cache_capacity)
+    if admission_slots is not None and (
+        gdh.admission is None or gdh.admission.slots != admission_slots
+    ):
+        gdh.admission = AdmissionQueue(admission_slots)
+    observatory = db.observe()
+    if "plan_cache" not in observatory.sources():
+        observatory.register("plan_cache", lambda: db.gdh.plan_cache)
+    if gdh.admission is not None and "admission" not in observatory.sources():
+        observatory.register("admission", lambda: db.gdh.admission)
+    return gdh.plan_cache, gdh.admission
+
+
+def connect(db, autocommit: bool = True) -> "Connection":
+    """Open a :class:`Connection` over a fresh session of *db*."""
+    install_serving(db)
+    return Connection(db, autocommit=autocommit)
+
+
+class Connection:
+    """One client connection: a session plus DBAPI transaction style.
+
+    With ``autocommit=True`` (the default) each statement commits by
+    itself, as :meth:`PrismaDB.execute` always has.  With
+    ``autocommit=False`` the first statement opens a transaction that
+    stays open until :meth:`commit`/:meth:`rollback` — PEP 249's
+    implicit-transaction style.
+    """
+
+    def __init__(self, db, autocommit: bool = True):
+        self._db = db
+        self._session = db.session()
+        self.autocommit = autocommit
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def session(self):
+        """The underlying :class:`~repro.core.database.Session`."""
+        return self._session
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._session.in_transaction
+
+    def close(self) -> None:
+        """Close the connection (rolls back any open transaction)."""
+        if not self._closed:
+            self._session.close()
+            self._closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    # -- transactions ------------------------------------------------------
+
+    def commit(self) -> None:
+        """Commit the open transaction (no-op when none is open)."""
+        self._check_open()
+        if self._session.in_transaction:
+            self._session.commit()
+
+    def rollback(self) -> None:
+        """Roll back the open transaction (no-op when none is open)."""
+        self._check_open()
+        if self._session.in_transaction:
+            self._session.rollback()
+
+    # -- statements --------------------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Sequence | None = None) -> "Cursor":
+        """Shorthand: a fresh cursor with *sql* already executed."""
+        return self.cursor().execute(sql, params)
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Tokenize *sql* once for repeated parameterized execution."""
+        self._check_open()
+        return PreparedStatement(self, sql, template_tokens(sql))
+
+    def _run_tokens(self, tokens: list[Token], params, sql_text: str):
+        """The one execution path: bind → cache lookup → GDH entry point."""
+        self._check_open()
+        bound = bind_parameters(tokens, params)
+        gdh = self._db.gdh
+        cache = gdh.plan_cache
+        key = statement_key(bound)
+        entry = cache.get(key) if cache is not None else None
+        cached = entry is not None
+        statement = entry if cached else parse_tokens(bound)
+        if not self.autocommit and not self._session.in_transaction:
+            shape = (
+                statement.statement
+                if isinstance(statement, PreparedSelect)
+                else statement
+            )
+            if not isinstance(shape, _TXN_CONTROL):
+                self._session.begin()
+        if not cached:
+            if isinstance(statement, sql_ast.SelectStmt | sql_ast.SetOpStmt):
+                statement = gdh.prepare_select(statement)
+            if cache is not None:
+                cache.put(key, statement)
+        return self._session.execute_statement(statement, sql_text, cached)
+
+
+class PreparedStatement:
+    """A statement template lexed once; bind and run with ``execute``."""
+
+    def __init__(self, connection: Connection, sql: str, tokens: list[Token]):
+        self._connection = connection
+        self.sql = sql
+        self._tokens = tokens
+
+    def execute(self, params: Sequence | None = None) -> "Cursor":
+        cursor = self._connection.cursor()
+        return cursor._run(self._tokens, params, self.sql)
+
+
+class Cursor:
+    """DBAPI-shaped statement execution and row fetching."""
+
+    def __init__(self, connection: Connection):
+        self._connection = connection
+        self.arraysize = 1
+        self._closed = False
+        self._reset_result()
+
+    def _reset_result(self) -> None:
+        self.description = None
+        self.rowcount = -1
+        self._rows: list[tuple] = []
+        self._position = 0
+        self.result = None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence | None = None) -> "Cursor":
+        """Run one statement; ``?`` placeholders bind from *params*."""
+        self._check_open()
+        return self._run(template_tokens(sql), params, sql)
+
+    def executemany(
+        self, sql: str, seq_of_params: Iterable[Sequence]
+    ) -> "Cursor":
+        """Run *sql* once per parameter tuple (template lexed once).
+
+        ``rowcount`` totals the affected rows; any result rows are
+        discarded, per PEP 249.
+        """
+        self._check_open()
+        tokens = template_tokens(sql)
+        affected = 0
+        for params in seq_of_params:
+            result = self._connection._run_tokens(tokens, params, sql)
+            affected += max(result.affected_rows, 0)
+        self._reset_result()
+        self.rowcount = affected
+        return self
+
+    def _run(self, tokens: list[Token], params, sql_text: str) -> "Cursor":
+        result = self._connection._run_tokens(tokens, params, sql_text)
+        self._reset_result()
+        self.result = result
+        if result.columns:
+            self.description = [
+                (name, None, None, None, None, None, None)
+                for name in result.columns
+            ]
+            self.rowcount = len(result.rows)
+        else:
+            self.rowcount = result.affected_rows
+        self._rows = result.rows or []
+        return self
+
+    # -- fetching ----------------------------------------------------------
+
+    def fetchone(self) -> tuple | None:
+        self._check_open()
+        if self._position >= len(self._rows):
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list[tuple]:
+        self._check_open()
+        count = self.arraysize if size is None else size
+        chunk = self._rows[self._position : self._position + count]
+        self._position += len(chunk)
+        return chunk
+
+    def fetchall(self) -> list[tuple]:
+        self._check_open()
+        remaining = self._rows[self._position :]
+        self._position = len(self._rows)
+        return remaining
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self) -> None:
+        self._reset_result()
+        self._closed = True

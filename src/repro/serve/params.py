@@ -1,0 +1,90 @@
+"""Parameter binding for the serving layer's ``?`` placeholders.
+
+A statement template is tokenized once; each execution splices the bound
+values into a *copy* of the token list as literal tokens and hands the
+result to :func:`repro.sql.parser.parse_tokens`.  Splicing at the token
+level (instead of rendering SQL text and re-lexing it) keeps binding
+injection-proof by construction — a string parameter becomes exactly one
+``STRING`` token, whatever characters it contains — and gives the plan
+cache a ready-made structural key: the spliced token stream itself.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+__all__ = ["bind_parameters", "statement_key", "template_tokens"]
+
+def template_tokens(sql: str) -> list[Token]:
+    """Tokenize a statement template (``?`` lexes as an operator)."""
+    return tokenize(sql)
+
+
+def _literal_token(value: object, at: Token) -> Token:
+    # bool before int: it is an int subclass but binds as a keyword.
+    if value is None:
+        return Token(TokenType.KEYWORD, "null", at.line, at.column)
+    if isinstance(value, bool):
+        word = "true" if value else "false"
+        return Token(TokenType.KEYWORD, word, at.line, at.column)
+    if isinstance(value, (int, float)):
+        return Token(TokenType.NUMBER, value, at.line, at.column)
+    if isinstance(value, str):
+        return Token(TokenType.STRING, value, at.line, at.column)
+    raise ParseError(
+        f"cannot bind a {type(value).__name__} parameter"
+        " (int, float, str, bool, or None)",
+        at.line,
+        at.column,
+    )
+
+
+def bind_parameters(
+    tokens: list[Token], params: tuple | list | None
+) -> list[Token]:
+    """Replace each ``?`` in *tokens* with the matching literal token.
+
+    The placeholder count must equal ``len(params)`` exactly — binding
+    too many or too few values is a programming error, not something to
+    pad silently.
+    """
+    values = tuple(params or ())
+    bound: list[Token] = []
+    next_param = 0
+    for token in tokens:
+        if token.type is TokenType.OPERATOR and token.value == "?":
+            if next_param >= len(values):
+                raise ParseError(
+                    f"statement has more placeholders than the"
+                    f" {len(values)} bound parameter(s)",
+                    token.line,
+                    token.column,
+                )
+            bound.append(_literal_token(values[next_param], token))
+            next_param += 1
+        else:
+            bound.append(token)
+    if next_param != len(values):
+        raise ParseError(
+            f"{len(values)} parameter(s) bound but the statement has"
+            f" only {next_param} placeholder(s)"
+        )
+    return bound
+
+
+def statement_key(tokens: list[Token]) -> tuple:
+    """Structural plan-cache key for a bound token stream.
+
+    The key covers every token — type and value, literals included — so
+    a hit guarantees the cached plan is *exactly* the one this statement
+    would have compiled (literal values steer fragment pruning and
+    selectivity, so a parameter-generic plan would be unsound).  Source
+    positions are deliberately excluded: the same statement typed with
+    different whitespace is the same key.
+    """
+    return tuple(
+        (token.type.value, token.value)
+        for token in tokens
+        if token.type is not TokenType.EOF
+    )

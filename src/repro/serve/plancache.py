@@ -1,0 +1,109 @@
+"""GDH-level plan cache for the serving layer.
+
+The same structural-hash idea as the OFM's
+:class:`~repro.exec.compiler.ExpressionCompilerCache`, lifted from
+expression granularity to whole statements: the key is the bound token
+stream (:func:`repro.serve.params.statement_key`), so a hit returns a
+plan compiled for *exactly* this statement, literals and all.  SELECTs
+cache a :class:`~repro.core.gdh.PreparedSelect` (bind + optimize
+product); other statements cache their parsed AST, which skips the
+host-side parse but not the simulated front-end charge — only a cached
+*plan* earns the cache-hit discount.
+
+Invalidation is wholesale on DDL: the GDH bumps its ``ddl_epoch`` and
+calls :meth:`PlanCache.invalidate`, dropping every entry.  Finer-grained
+invalidation (per touched table) is not worth the bookkeeping at this
+scale — DDL is rare in every workload we model.
+
+Capacity is bounded FIFO: when full, the oldest entry (Python dicts are
+insertion-ordered) is evicted.  Deterministic, and good enough for the
+repeated-template workloads the cache exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.api import SnapshotMixin
+
+__all__ = ["PlanCache"]
+
+#: Default entry bound; ~100 sessions × a handful of templates × the
+#: hot Zipf keys fit comfortably, while a scan of distinct ad-hoc
+#: statements cannot grow the cache without bound.
+DEFAULT_CAPACITY = 1024
+
+
+class PlanCache(SnapshotMixin):
+    """Bounded statement→plan cache with epoch invalidation."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: dict[tuple, Any] = {}
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when cold)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Any | None:
+        """The cached plan/AST for *key*, or None (counts the lookup)."""
+        self.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: Any) -> None:
+        if key in self._entries:
+            self._entries[key] = entry
+            return
+        if len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+        self._entries[key] = entry
+
+    def invalidate(self, ddl_epoch: int) -> None:
+        """Drop everything: DDL moved schemas or fragment placement.
+
+        Called by the GDH's ``_ddl_changed`` with the new epoch; the
+        epoch itself lives on the GDH (and inside each cached
+        ``PreparedSelect``) — the cache only needs to empty itself.
+        """
+        del ddl_epoch
+        self._entries.clear()
+        self.invalidations += 1
+
+    # -- Snapshot ----------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0

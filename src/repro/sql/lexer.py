@@ -27,7 +27,11 @@ KEYWORDS = frozenset(
 )
 
 MULTI_CHAR_OPERATORS = ("<>", "!=", "<=", ">=")
-SINGLE_CHAR_TOKENS = "+-*/%(),.;=<>"
+#: ``?`` is the DBAPI parameter placeholder (repro.serve); it lexes like
+#: any operator so the serving layer can splice bound values into the
+#: token stream, but the parser rejects it — an unbound placeholder must
+#: fail with a position, not silently reach the binder.
+SINGLE_CHAR_TOKENS = "+-*/%(),.;=<>?"
 
 
 class TokenType(enum.Enum):

@@ -62,6 +62,22 @@ def parse_statement(text: str) -> Statement:
     return statement
 
 
+def parse_tokens(tokens: list[Token]) -> Statement:
+    """Parse exactly one statement from an already-lexed token stream.
+
+    Used by the serving layer (:mod:`repro.serve`), which tokenizes a
+    statement template once and splices bound parameter values into the
+    token list — re-rendering SQL text only to re-tokenize it would
+    throw that work away.  The list must end with an EOF token, as
+    :func:`~repro.sql.lexer.tokenize` produces.
+    """
+    parser = _Parser(tokens)
+    statement = parser.statement()
+    parser.accept_operator(";")
+    parser.expect_eof()
+    return statement
+
+
 def parse_script(text: str) -> list[Statement]:
     """Parse a ``;``-separated sequence of statements."""
     parser = _Parser(tokenize(text))
