@@ -4,21 +4,33 @@
 variant of a chordal ring."  Both must fit four links per processing
 element; this bench compares their structure (diameter, mean hops) and
 their delivered saturation throughput at 64 elements.
+
+Run as a script for other machine sizes (the pytest path pins 64)::
+
+    python benchmarks/bench_e2_topology.py --n-nodes 64 256 1024
 """
+
+import pathlib
+import sys
 
 import pytest
 
-from repro.machine import MachineConfig, PacketNetwork
-from repro.machine.topology import build_topology
-from repro.machine.traffic import run_load_point
+_HERE = pathlib.Path(__file__).resolve().parent
+for _path in (_HERE.parent / "src", _HERE):
+    if str(_path) not in sys.path:
+        sys.path.insert(0, str(_path))
 
-from _harness import report
+from repro.machine import MachineConfig, PacketNetwork  # noqa: E402
+from repro.machine.topology import build_topology  # noqa: E402
+from repro.machine.traffic import run_load_point  # noqa: E402
+
+from _harness import report  # noqa: E402
 
 TOPOLOGIES = ["mesh", "torus", "chordal_ring", "ring"]
 
 
-def structure(name: str) -> dict:
-    config = MachineConfig(n_nodes=64, topology=name)
+def structure(name: str, n_nodes: int = 64) -> dict:
+    config = MachineConfig(n_nodes=n_nodes, topology=name)
     topology = build_topology(config)
     return {
         "name": topology.name,
@@ -30,8 +42,13 @@ def structure(name: str) -> dict:
     }
 
 
-def saturation(name: str, load: float = 30_000, measure_s: float = 0.03) -> float:
-    config = MachineConfig(n_nodes=64, topology=name)
+def saturation(
+    name: str,
+    load: float = 30_000,
+    measure_s: float = 0.03,
+    n_nodes: int = 64,
+) -> float:
+    config = MachineConfig(n_nodes=n_nodes, topology=name)
     network = PacketNetwork(config)
     point = run_load_point(network, load, warmup_s=0.01, measure_s=measure_s, seed=5)
     return point["delivered_pps_per_node"]
@@ -79,3 +96,41 @@ def test_e2_topology_comparison(results, benchmark):
     ratio = chordal["delivered"] / mesh["delivered"]
     assert 0.5 < ratio < 4.0
     benchmark.pedantic(structure, args=("chordal_ring",), rounds=1, iterations=1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Sweep the comparison over machine sizes (E11 companion view).
+
+    Offered load is scaled down at larger sizes to keep the sweep in
+    seconds; the structural columns (diameter, mean hops, saturation
+    bound) are exact regardless of load.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-nodes", type=int, nargs="+", default=[64])
+    parser.add_argument("--topologies", nargs="+", default=TOPOLOGIES)
+    parser.add_argument("--load", type=float, default=None,
+                        help="offered pps/PE (default scales with size)")
+    args = parser.parse_args(argv)
+
+    for n_nodes in args.n_nodes:
+        load = args.load if args.load is not None else min(30_000, 2**21 / n_nodes)
+        for name in args.topologies:
+            info = structure(name, n_nodes=n_nodes)
+            delivered = saturation(
+                name, load=load, measure_s=0.01, n_nodes=n_nodes
+            )
+            print(
+                f"e2[{info['name']}/{n_nodes}]:"
+                f" diameter {info['diameter']}"
+                f" mean hops {info['mean_hops']:.2f}"
+                f" bound {info['bound']:,.0f} pps/PE"
+                f" delivered {delivered:,.0f} pps/PE"
+                f" (offered {load:,.0f})"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

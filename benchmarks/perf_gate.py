@@ -34,6 +34,14 @@ baseline in ``benchmarks/perf_baseline.json``:
   fingerprint of every operation's simulated latency plus plan-cache
   and admission counters, and on the plan-cache hit rate staying above
   the 0.8 floor.
+* **scale** — the large-machine fast paths (ISSUE 9): the 64-PE
+  ``bench_scaling.py`` points for mesh and chordal ring
+  (construction + E1-style load point + scaled serving mix), gated on
+  wall clock and on a fingerprint of the network counters and every
+  serving latency; plus a 1024-PE construction smoke that hard-gates
+  laziness — building the machine must touch zero routing columns and
+  keep router tables under 128 KiB (a dense all-pairs table would be
+  megabytes).
 
 Wall-clock gates fail when the best-of-N wall time regresses by more
 than ``PERF_GATE_MAX_REGRESSION`` (default 0.30, i.e. 30 %) against the
@@ -54,6 +62,7 @@ Run::
     python benchmarks/perf_gate.py --suite obs
     python benchmarks/perf_gate.py --suite columnar
     python benchmarks/perf_gate.py --suite serving
+    python benchmarks/perf_gate.py --suite scale
     python benchmarks/perf_gate.py --update-baseline
 
 Writes ``benchmarks/results/bench_perf.json`` either way.
@@ -410,6 +419,131 @@ def check_serving_gates(
             f"serving wall-clock regression: {wall:.3f}s vs baseline"
             f" {base_wall:.3f}s (+{(wall / base_wall - 1) * 100:.1f}%,"
             f" limit {threshold * 100:.0f}%)"
+        )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Scale suite (ISSUE 9): pinned 64-PE points + 1024-PE laziness smoke.
+# ---------------------------------------------------------------------------
+
+#: Router tables at 1024 PEs must stay O(links); a dense all-pairs
+#: next-hop + distance pair would be ~8 MiB.
+SCALE_SMOKE_NODES = 1024
+SCALE_SMOKE_TABLE_LIMIT = 128 * 1024
+#: Absolute ceiling for building both 1024-PE machines: lazy routing
+#: builds in milliseconds; the old eager all-pairs BFS took seconds.
+SCALE_SMOKE_WALL_LIMIT = 1.0
+
+
+def run_scale_once() -> dict:
+    """One pass over the pinned 64-PE points plus the 1024-PE smoke."""
+    from bench_scaling import SCALE_TOPOLOGIES, construction_point, scale_point
+
+    points = {}
+    wall = 0.0
+    for topology in SCALE_TOPOLOGIES:
+        point = scale_point(64, topology)
+        wall += (
+            point["construction"]["wall_s"]
+            + point["network"]["wall_s"]
+            + point["serving"]["wall_s"]
+        )
+        stats = point["network"]
+        serving = point["serving"]
+        points[f"{topology}/64"] = {
+            # Integer packet counters plus the exact mean latency pin the
+            # load point; the serving fingerprint hashes every
+            # operation's simulated latency, so any routing or multicast
+            # change that moves a single timestamp trips the gate.
+            "network": {
+                "injected": int(stats["injected"]),
+                "delivered": int(stats["delivered"]),
+                "delivered_in_window": int(stats["delivered_in_window"]),
+                "in_flight": int(stats["in_flight"]),
+                "mean_latency_s": repr(stats["mean_latency_s"]),
+            },
+            "serving": serving["fingerprint"],
+        }
+    smoke = {}
+    smoke_wall = 0.0
+    for topology in SCALE_TOPOLOGIES:
+        built = construction_point(SCALE_SMOKE_NODES, topology)
+        smoke_wall += built["wall_s"]
+        smoke[topology] = built
+        # Laziness is a hard invariant, not a baseline comparison: a
+        # 1024-PE build that runs any BFS has lost the O(N) fast path.
+        if built["touched_destinations"] != 0:
+            raise AssertionError(
+                f"1024-PE {topology} construction touched"
+                f" {built['touched_destinations']} routing columns;"
+                " the lazy router must build none"
+            )
+        if built["table_bytes"] > SCALE_SMOKE_TABLE_LIMIT:
+            raise AssertionError(
+                f"1024-PE {topology} router tables grew to"
+                f" {built['table_bytes']} bytes"
+                f" (limit {SCALE_SMOKE_TABLE_LIMIT}); dense tables are back"
+            )
+    return {
+        "wall_s": wall,
+        "smoke_wall_s": smoke_wall,
+        "fingerprint": points,
+        "smoke": smoke,
+    }
+
+
+def measure_scale(repeats: int) -> dict:
+    runs = [run_scale_once() for _ in range(repeats)]
+    fingerprints = [run["fingerprint"] for run in runs]
+    for fingerprint in fingerprints[1:]:
+        if fingerprint != fingerprints[0]:
+            raise AssertionError(
+                "scale bench is not deterministic across same-process"
+                f" repeats: {fingerprint} != {fingerprints[0]}"
+            )
+    best = min(runs, key=lambda run: run["wall_s"])
+    return {
+        "wall_s": best["wall_s"],
+        "wall_s_all": [round(run["wall_s"], 4) for run in runs],
+        "smoke_wall_s": min(run["smoke_wall_s"] for run in runs),
+        "smoke": best["smoke"],
+        "fingerprint": fingerprints[0],
+    }
+
+
+def check_scale_gates(measured: dict, baseline: dict, wall_gate: bool) -> list[str]:
+    failures = []
+    entry = baseline.get("scale")
+    if entry is None:
+        failures.append("scale bench has no committed baseline")
+        return failures
+    for name, fingerprint in measured["fingerprint"].items():
+        pinned = entry["expected"].get(name)
+        if fingerprint != pinned:
+            failures.append(
+                f"scale fingerprint drift at {name}: routing/multicast is no"
+                " longer bit-identical to the committed baseline — got"
+                f" {fingerprint}, pinned {pinned};"
+                " regenerate benchmarks/perf_baseline.json deliberately"
+            )
+    threshold = wall_threshold()
+    wall, base_wall = measured["wall_s"], entry["committed"]["wall_s"]
+    if wall_gate and wall > base_wall * (1 + threshold):
+        failures.append(
+            f"scale wall-clock regression: {wall:.3f}s vs baseline"
+            f" {base_wall:.3f}s (+{(wall / base_wall - 1) * 100:.1f}%,"
+            f" limit {threshold * 100:.0f}%)"
+        )
+    # The smoke wall gets an absolute ceiling, not a relative gate: a
+    # lazy 1024-PE build is milliseconds, an eager all-pairs one is
+    # seconds, and a 30% band around milliseconds is timer noise.
+    if wall_gate and measured["smoke_wall_s"] > SCALE_SMOKE_WALL_LIMIT:
+        failures.append(
+            f"scale smoke: 1024-PE construction took"
+            f" {measured['smoke_wall_s']:.3f}s"
+            f" (ceiling {SCALE_SMOKE_WALL_LIMIT:.1f}s); the build is no"
+            " longer O(links)"
         )
     return failures
 
@@ -790,7 +924,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--suite",
-        choices=["all", "network", "executor", "obs", "columnar", "serving"],
+        choices=["all", "network", "executor", "obs", "columnar", "serving", "scale"],
         default="all",
         help="which benchmark family to run",
     )
@@ -978,6 +1112,38 @@ def main(argv: list[str] | None = None) -> int:
         else:
             failures.extend(
                 check_serving_gates(measured_srv, baseline, not args.no_wall_gate)
+            )
+
+    if args.suite in ("all", "scale"):
+        measured_scale = measure_scale(args.repeats)
+        report["scale"] = measured_scale
+        print(
+            f"perf_gate[scale]: wall {measured_scale['wall_s']:.3f}s"
+            f"  1024-PE smoke {measured_scale['smoke_wall_s'] * 1000:.1f}ms"
+            "  (tables "
+            + ", ".join(
+                f"{topology} {run['table_bytes'] / 1024:.1f}KiB"
+                for topology, run in measured_scale["smoke"].items()
+            )
+            + ")"
+        )
+        if updating:
+            new_baseline["scale"] = {
+                "benchmark": (
+                    "64-PE mesh + chordal-ring scale points (construction,"
+                    " E1-style load point, 160-op serving mix) plus 1024-PE"
+                    " lazy-construction smoke (bench_scaling.py)"
+                ),
+                "committed": {
+                    "wall_s": round(measured_scale["wall_s"], 4),
+                    "smoke_wall_s": round(measured_scale["smoke_wall_s"], 4),
+                    "host": platform.platform(),
+                },
+                "expected": measured_scale["fingerprint"],
+            }
+        else:
+            failures.extend(
+                check_scale_gates(measured_scale, baseline, not args.no_wall_gate)
             )
 
     if updating:

@@ -55,6 +55,11 @@ from repro.storage.schema import Schema
 SUBPLAN_BYTES = 512
 #: Broadcasting a side cheaper than repartitioning both: row threshold.
 BROADCAST_ROWS = 200
+#: Widest direct fan-in/fan-out of a gather or broadcast; beyond it the
+#: executor routes through a spanning tree of relay parts.  32 keeps
+#: every 64-PE workload (max 16 fragments anywhere in the repo) on the
+#: historical direct path, so the pinned fingerprints are untouched.
+MULTICAST_FANIN = 32
 
 
 @dataclass
@@ -131,6 +136,7 @@ class DistributedExecutor:
         compiled_expressions: bool = True,
         broadcast_rows: int = BROADCAST_ROWS,
         distributed_closure: bool = True,
+        multicast_fanin: int = MULTICAST_FANIN,
     ):
         self.runtime = runtime
         self.machine = runtime.machine
@@ -141,6 +147,9 @@ class DistributedExecutor:
         #: Run transitive closure as a parallel distributed fixpoint when
         #: the input is fragmented (False = gather to one transient OFM).
         self.distributed_closure = distributed_closure
+        #: Gathers/broadcasts wider than this route through a relay tree
+        #: so no process pays more than `multicast_fanin` transfers.
+        self.multicast_fanin = multicast_fanin
         #: Compiled single-pass bucket splitters, one per shuffle shape.
         self._splitters = SplitterCache()
         #: Tracer handle (None unless the runtime carries an enabled
@@ -296,17 +305,79 @@ class DistributedExecutor:
         self.runtime.send(source.process, target, n_bytes)  # prismalint: disable=PL004 -- charged in _run_local
 
     def _gather(self, relation: DistRelation, target: PoolProcess, schema: Schema | None = None) -> DistRelation:
-        """Collect every part at *target* (the fan-in of a query)."""
-        if len(relation.parts) == 1 and relation.parts[0].process is target:
+        """Collect every part at *target* (the fan-in of a query).
+
+        Up to ``multicast_fanin`` remote parts ship point-to-point —
+        exactly the historical direct gather, so the 64-PE fingerprints
+        are byte-identical.  Wider fan-ins route through the relay tree
+        of :meth:`_tree_gather`, bounding the receive overheads the
+        coordinator serializes.
+        """
+        parts = relation.parts
+        if len(parts) == 1 and parts[0].process is target:
             return relation
         self.metrics.counter("executor.gathers").inc()
         schema = schema or _any_schema(1)
-        rows: list = []
-        for part in relation.parts:
-            if part.process is not target:
+        remote = [part for part in parts if part.process is not target]
+        if len(remote) > self.multicast_fanin:
+            self._tree_gather(remote, target, schema)
+        else:
+            for part in remote:
                 self._ship(part, target, schema, part.rows)
+        rows: list = []
+        for part in parts:
             rows.extend(part.rows)
         return DistRelation([Part(target, rows)], None)
+
+    def _tree_gather(
+        self, parts: list[Part], target: PoolProcess, schema: Schema
+    ) -> None:
+        """Charge a wide gather as a deterministic relay-tree multicast.
+
+        Parts are ordered by hosting element id (contiguous id ranges
+        are physically close on every structured topology) and split
+        into at most ``multicast_fanin`` even groups.  Each group elects
+        the member nearest the target as relay: the rest of the group
+        ships to the relay (recursively when the group itself exceeds
+        the fan-in) and the relay forwards the group's rows in one
+        combined message.  The target therefore pays O(fanin) receive
+        overheads instead of O(parts), and long-haul flows collapse to
+        one message per subtree.  Only transfer charges move through the
+        tree; result rows are still concatenated from the original parts
+        by the caller, so answers cannot change.
+        """
+        fanin = self.multicast_fanin
+        if len(parts) <= fanin:
+            for part in parts:
+                self._ship(part, target, schema, part.rows)
+            return
+        hops = self.machine.router.hops
+        target_node = target.node_id
+        relays = self.metrics.counter("executor.tree_relays")
+        order = sorted(range(len(parts)), key=lambda i: (parts[i].process.node_id, i))
+        base, extra = divmod(len(order), fanin)
+        start = 0
+        for g in range(fanin):
+            size = base + (1 if g < extra else 0)
+            group = order[start : start + size]
+            start += size
+            relay_index = min(
+                group,
+                key=lambda i: (
+                    hops(parts[i].process.node_id, target_node),
+                    parts[i].process.node_id,
+                    i,
+                ),
+            )
+            relay = parts[relay_index]
+            members = [parts[i] for i in group if i != relay_index]
+            if members:
+                relays.inc()
+                self._tree_gather(members, relay.process, schema)
+            combined = list(relay.rows)
+            for member in members:
+                combined.extend(member.rows)
+            self._ship(Part(relay.process, combined), target, schema, combined)
 
     # -- dispatcher ------------------------------------------------------------------
 
@@ -597,18 +668,34 @@ class DistributedExecutor:
         ``parts[0]`` — the same bytes then crossed the network once more
         per target, one hop later.  Direct shipping charges the same
         per-target transfer and drops the gather hop entirely.
+
+        Beyond ``multicast_fanin`` targets the copies fan out through
+        the relay tree of :meth:`_tree_scatter` instead, so no source
+        serializes more than ``multicast_fanin`` sends; at the 64-PE
+        default every workload stays on the direct path.
         """
         self.metrics.counter("executor.broadcasts").inc()
         parts = relation.parts
+        fanout = self.multicast_fanin
         if len(parts) == 1:
             source = parts[0]
             rows = source.rows
+            remote = [t for t in targets if t is not source.process]
+            if len(remote) > fanout:
+                self._tree_scatter(source, remote, schema, rows)
+                return [rows for _ in targets]
             result = []
             for target in targets:
                 if target is not source.process:
                     self._ship(source, target, schema, rows)
                 result.append(rows)
             return result
+        if len(targets) > fanout:
+            for part in parts:
+                remote = [t for t in targets if t is not part.process]
+                if remote:
+                    self._tree_scatter(part, remote, schema, part.rows)
+            return [relation.all_rows() for _ in targets]
         result = []
         for target in targets:
             rows = []
@@ -618,6 +705,45 @@ class DistributedExecutor:
                 rows.extend(part.rows)
             result.append(rows)
         return result
+
+    def _tree_scatter(
+        self, source: Part, targets: list[PoolProcess], schema: Schema, rows: list
+    ) -> None:
+        """Charge one part's wide broadcast as a relay-tree multicast.
+
+        Mirror image of :meth:`_tree_gather`: targets are grouped by
+        element id, each group's member nearest the source receives one
+        copy and forwards it down its subtree.
+        """
+        fanout = self.multicast_fanin
+        if len(targets) <= fanout:
+            for target in targets:
+                self._ship(source, target, schema, rows)
+            return
+        hops = self.machine.router.hops
+        source_node = source.process.node_id
+        relays = self.metrics.counter("executor.tree_relays")
+        order = sorted(range(len(targets)), key=lambda i: (targets[i].node_id, i))
+        base, extra = divmod(len(order), fanout)
+        start = 0
+        for g in range(fanout):
+            size = base + (1 if g < extra else 0)
+            group = order[start : start + size]
+            start += size
+            relay_index = min(
+                group,
+                key=lambda i: (
+                    hops(source_node, targets[i].node_id),
+                    targets[i].node_id,
+                    i,
+                ),
+            )
+            relay = targets[relay_index]
+            self._ship(source, relay, schema, rows)
+            rest = [targets[i] for i in group if i != relay_index]
+            if rest:
+                relays.inc()
+                self._tree_scatter(Part(relay, rows), rest, schema, rows)
 
     # -- joins ----------------------------------------------------------------------------
 

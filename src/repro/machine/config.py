@@ -25,7 +25,7 @@ MEBIBYTE = 1024 * 1024
 TOPOLOGIES = ("mesh", "torus", "chordal_ring", "ring", "hypercube", "complete")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MachineConfig:
     """Immutable description of one PRISMA multi-computer instance.
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskStats:
     """Counters accumulated over the life of one disk."""
 
@@ -30,7 +30,7 @@ class DiskStats:
     busy_time_s: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Disk:
     """One disk: a stable page store plus an access-time model.
 

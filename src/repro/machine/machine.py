@@ -82,10 +82,11 @@ class Machine:
         # Fault state: failed elements / directed-link pairs.  Empty in
         # the fault-free case, so the analytic hot path pays only two
         # truthiness checks.  Routes under faults are recomputed by BFS
-        # and memoized until the fault set changes.
+        # into per-destination distance columns; a new fault invalidates
+        # only the destinations it can actually affect (see fail_link).
         self._down_nodes: set[int] = set()
         self._down_links: set[tuple[int, int]] = set()
-        self._fault_hops: dict[tuple[int, int], int] = {}
+        self._fault_dist_cols: dict[int, list[int]] = {}
         self._observatory: Observatory | None = None
 
     def observe(self) -> Observatory:
@@ -137,26 +138,49 @@ class Machine:
     def fail_node(self, node_id: int) -> None:
         """Take a processing element down (its links go with it)."""
         self.node(node_id)  # validates
+        if node_id in self._down_nodes:
+            return
         self._down_nodes.add(node_id)
-        self._fault_hops.clear()
+        # A dead element only changes routes that could traverse it:
+        # columns where it was already unreachable stay exact.
+        cols = self._fault_dist_cols
+        for dest in [d for d, col in cols.items() if col[node_id] >= 0]:
+            del cols[dest]
 
     def restore_node(self, node_id: int) -> None:
         self.node(node_id)
+        if node_id not in self._down_nodes:
+            return
         self._down_nodes.discard(node_id)
-        self._fault_hops.clear()
+        # A revived element can shorten any route; recompute lazily.
+        self._fault_dist_cols.clear()
 
     def fail_link(self, u: int, v: int) -> None:
         """Fail the (bidirectional) link between two adjacent elements."""
         if v not in self.topology.neighbors(u):
             raise MachineError(f"no link between elements {u} and {v}")
+        if (u, v) in self._down_links:
+            return
         self._down_links.add((u, v))
         self._down_links.add((v, u))
-        self._fault_hops.clear()
+        # BFS shortest paths only cross edges between consecutive
+        # levels, so a cut link leaves a destination's distances intact
+        # unless both ends were reachable exactly one hop apart.
+        cols = self._fault_dist_cols
+        stale = [
+            dest
+            for dest, col in cols.items()
+            if col[u] >= 0 and col[v] >= 0 and abs(col[u] - col[v]) == 1
+        ]
+        for dest in stale:
+            del cols[dest]
 
     def restore_link(self, u: int, v: int) -> None:
+        if (u, v) not in self._down_links:
+            return
         self._down_links.discard((u, v))
         self._down_links.discard((v, u))
-        self._fault_hops.clear()
+        self._fault_dist_cols.clear()
 
     def node_is_up(self, node_id: int) -> bool:
         return node_id not in self._down_nodes
@@ -165,39 +189,43 @@ class Machine:
     def has_faults(self) -> bool:
         return bool(self._down_nodes) or bool(self._down_links)
 
-    def _hops_under_faults(self, source: int, destination: int) -> int:
-        """Shortest path length avoiding down elements/links, -1 if cut.
+    def _fault_distances_to(self, destination: int) -> list[int]:
+        """Hop distances to *destination* avoiding down elements/links.
 
-        Memoized per (source, destination) until the fault set changes;
-        deterministic (BFS expands neighbors in topology order).
+        One BFS per destination (not per pair), memoized until a fault
+        that can affect it; deterministic (BFS expands neighbors in
+        topology order).  -1 marks unreachable elements.
         """
-        cached = self._fault_hops.get((source, destination))
-        if cached is not None:
-            return cached
+        col = self._fault_dist_cols.get(destination)
+        if col is not None:
+            return col
         down_nodes = self._down_nodes
         down_links = self._down_links
-        if source in down_nodes or destination in down_nodes:
-            self._fault_hops[(source, destination)] = -1
+        col = [-1] * self.n_nodes
+        if destination not in down_nodes:
+            col[destination] = 0
+            frontier = deque([destination])
+            neighbors = self.topology.neighbors
+            while frontier:
+                node = frontier.popleft()
+                d = col[node] + 1
+                for neighbor in neighbors(node):
+                    if (
+                        col[neighbor] >= 0
+                        or neighbor in down_nodes
+                        or (node, neighbor) in down_links
+                    ):
+                        continue
+                    col[neighbor] = d
+                    frontier.append(neighbor)
+        self._fault_dist_cols[destination] = col
+        return col
+
+    def _hops_under_faults(self, source: int, destination: int) -> int:
+        """Shortest path length avoiding down elements/links, -1 if cut."""
+        if source in self._down_nodes:
             return -1
-        distance = {source: 0}
-        frontier = deque([source])
-        hops = -1
-        while frontier:
-            node = frontier.popleft()
-            if node == destination:
-                hops = distance[node]
-                break
-            for neighbor in self.topology.neighbors(node):
-                if (
-                    neighbor in distance
-                    or neighbor in down_nodes
-                    or (node, neighbor) in down_links
-                ):
-                    continue
-                distance[neighbor] = distance[node] + 1
-                frontier.append(neighbor)
-        self._fault_hops[(source, destination)] = hops
-        return hops
+        return self._fault_distances_to(destination)[source]
 
     def reachable(self, source: int, destination: int) -> bool:
         """Can *source* currently reach *destination*?"""

@@ -24,9 +24,11 @@ service-completion event plus an arrival closure.  This halves the
 event count and produces bit-identical timestamps: the float additions
 performed are the same ones the explicit service-completion model
 performs, in the same order per link (see DESIGN.md, "Analytic FIFO
-links").  Per-link state lives in flat integer-indexed arrays; the
-routing step is a single flat-table lookup
-(:meth:`repro.machine.router.Router.out_link`).
+links").  Per-link state lives in flat integer-indexed lists; the
+routing step indexes a per-destination column of outgoing link ids,
+fetched lazily from the router
+(:meth:`repro.machine.router.Router.out_links_to`) so only destinations
+that actually receive traffic ever pay for a routing column.
 """
 
 from __future__ import annotations
@@ -151,11 +153,19 @@ class PacketNetwork:
         # packets it still holds (FIFO order), and how many packets were
         # ever enqueued on it.
         n_links = self.router.n_directed_links
+        # Hot per-hop state stays in plain lists: CPython boxes every
+        # array('d')/array('q') element access, which measures ~3x
+        # slower than a list read/write on the per-hop path.  The
+        # compact array-typed tables live in the Router; this class
+        # trades those bytes back for speed on what it touches per hop.
         self._link_next_free: list[float] = [0.0] * n_links
         self._link_departs: list[deque[float]] = [deque() for _ in range(n_links)]
         self._link_enqueued: list[int] = [0] * n_links
-        self._out_link = self.router._out_link
-        self._link_dest = self.router.link_destination
+        # Per-destination out-link columns, fetched lazily on first
+        # traffic toward each destination and unboxed into lists once,
+        # so memory stays O(links + touched destinations).
+        self._out_cols: list[list[int] | None] = [None] * self.topology.n_nodes
+        self._link_dest: list[int] = list(self.router.link_destination)
         self._n_nodes = self.topology.n_nodes
         # Cache the derived per-hop constants: the config properties
         # recompute a division per access, which the hot path cannot pay.
@@ -230,7 +240,11 @@ class PacketNetwork:
         if node == destination:
             self._deliver(packet)
             return
-        link_id = self._out_link[node * self._n_nodes + destination]
+        out_col = self._out_cols[destination]
+        if out_col is None:
+            out_col = list(self.router.out_links_to(destination))
+            self._out_cols[destination] = out_col
+        link_id = out_col[node]
         now = self.loop.now
         departs = self._link_departs[link_id]
         if self.queue_capacity is not None:

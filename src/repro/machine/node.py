@@ -13,7 +13,7 @@ from repro.machine.disk import Disk
 from repro.machine.memory import MemoryAccount
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeStats:
     """Work counters for one processing element."""
 

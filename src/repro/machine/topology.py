@@ -25,11 +25,24 @@ class Topology:
     constructing instances by hand.
     """
 
-    def __init__(self, name: str, n_nodes: int, edges: Iterable[tuple[int, int]]):
+    def __init__(
+        self,
+        name: str,
+        n_nodes: int,
+        edges: Iterable[tuple[int, int]],
+        kind: str = "generic",
+        params: dict[str, object] | None = None,
+    ):
         if n_nodes < 1:
             raise TopologyError(f"topology needs at least one node, got {n_nodes}")
         self.name = name
         self.n_nodes = n_nodes
+        #: Structural family ("mesh", "torus", "ring", "chordal_ring",
+        #: "hypercube", "complete", or "generic") plus the parameters the
+        #: builder used.  The router dispatches on these to pick a
+        #: closed-form shortest-path rule instead of parsing the name.
+        self.kind = kind
+        self.params: dict[str, object] = dict(params or {})
         adjacency: list[set[int]] = [set() for _ in range(n_nodes)]
         for u, v in edges:
             if not (0 <= u < n_nodes and 0 <= v < n_nodes):
@@ -154,15 +167,27 @@ def build_mesh(n_nodes: int, wrap: bool = False) -> Topology:
             elif wrap and rows > 2:
                 edges.append((node, c))
     name = "torus" if wrap else "mesh"
-    return Topology(f"{name}_{rows}x{cols}", n_nodes, edges)
+    return Topology(
+        f"{name}_{rows}x{cols}",
+        n_nodes,
+        edges,
+        kind=name,
+        params={
+            "rows": rows,
+            "cols": cols,
+            # An axis only wraps when the builder added the wrap edge.
+            "wrap_rows": wrap and rows > 2,
+            "wrap_cols": wrap and cols > 2,
+        },
+    )
 
 
 def build_ring(n_nodes: int) -> Topology:
     if n_nodes < 3:
         return Topology(f"ring_{n_nodes}", n_nodes,
-                        [(0, 1)] if n_nodes == 2 else [])
+                        [(0, 1)] if n_nodes == 2 else [], kind="ring")
     edges = [(i, (i + 1) % n_nodes) for i in range(n_nodes)]
-    return Topology(f"ring_{n_nodes}", n_nodes, edges)
+    return Topology(f"ring_{n_nodes}", n_nodes, edges, kind="ring")
 
 
 def build_chordal_ring(n_nodes: int, skips: Iterable[int] = (8,)) -> Topology:
@@ -183,7 +208,13 @@ def build_chordal_ring(n_nodes: int, skips: Iterable[int] = (8,)) -> Topology:
         for i in range(n_nodes):
             edges.append((i, (i + skip) % n_nodes))
     skip_label = "+".join(str(s) for s in skips)
-    return Topology(f"chordal_ring_{n_nodes}_s{skip_label}", n_nodes, edges)
+    return Topology(
+        f"chordal_ring_{n_nodes}_s{skip_label}",
+        n_nodes,
+        edges,
+        kind="chordal_ring",
+        params={"skips": tuple(skips)},
+    )
 
 
 def build_hypercube(n_nodes: int) -> Topology:
@@ -196,12 +227,18 @@ def build_hypercube(n_nodes: int) -> Topology:
         for bit in range(dimension)
         if node < node ^ (1 << bit)
     ]
-    return Topology(f"hypercube_{dimension}d", n_nodes, edges)
+    return Topology(
+        f"hypercube_{dimension}d",
+        n_nodes,
+        edges,
+        kind="hypercube",
+        params={"dimension": dimension},
+    )
 
 
 def build_complete(n_nodes: int) -> Topology:
     edges = [(u, v) for u in range(n_nodes) for v in range(u + 1, n_nodes)]
-    return Topology(f"complete_{n_nodes}", n_nodes, edges)
+    return Topology(f"complete_{n_nodes}", n_nodes, edges, kind="complete")
 
 
 _BUILDERS = {

@@ -1,0 +1,70 @@
+"""Spanning-tree gather/broadcast: same rows, bounded coordinator fan-in.
+
+The executor collapses to the historical direct sends whenever the
+remote part/target count is within ``multicast_fanin`` (the 64-PE
+default never exceeds it, keeping the pinned fingerprints identical).
+These tests force a tiny fan-in so the relay tree engages on the small
+test machine, and check it changes charges — not answers.
+"""
+
+from repro.algebra.plan import AggExpr, AggregateNode, JoinNode, ScanNode
+from repro.exec.expressions import col, eq
+
+from tests.test_core_executor import DEPT, EMP, Harness, oracle
+
+
+def _run(fragments, plan, fanin=None):
+    harness = Harness(fragments)
+    if fanin is not None:
+        harness.executor.multicast_fanin = fanin
+    rows, report = harness.run(plan)
+    machine = harness.runtime.machine
+    received = [node.stats.messages_received for node in machine.nodes]
+    return harness, rows, report, received
+
+
+def test_tree_gather_preserves_rows_and_bounds_fanin():
+    plan = ScanNode("emp", EMP)
+    fragments = {"emp": 8}
+    _, direct_rows, direct_report, direct_recv = _run(fragments, plan)
+    _, tree_rows, tree_report, tree_recv = _run(fragments, plan, fanin=2)
+    assert sorted(tree_rows, key=repr) == sorted(direct_rows, key=repr)
+    assert sorted(tree_rows, key=repr) == sorted(oracle(plan), key=repr)
+    # The coordinator (query process at element 0) now takes at most
+    # fanin data messages instead of one per fragment; relays add hops.
+    assert tree_recv[0] < direct_recv[0]
+    assert tree_report.messages >= direct_report.messages
+
+
+def test_tree_gather_is_deterministic():
+    plan = AggregateNode(ScanNode("emp", EMP), [2], [AggExpr("count", None)])
+    runs = [_run({"emp": 8}, plan, fanin=2) for _ in range(2)]
+    assert runs[0][1] == runs[1][1]
+    assert runs[0][2].finished_at == runs[1][2].finished_at
+    assert runs[0][2].messages == runs[1][2].messages
+    assert runs[0][3] == runs[1][3]
+
+
+def test_tree_broadcast_preserves_join_rows():
+    # dept (4 rows) broadcasts to all 8 emp parts; fanout 2 forces the
+    # scatter tree while the join result must not move.
+    plan = JoinNode(
+        ScanNode("emp", EMP), ScanNode("dept", DEPT), eq(col(2), col(4))
+    )
+    fragments = {"emp": 8, "dept": 1}
+    _, direct_rows, _, _ = _run(fragments, plan)
+    harness, tree_rows, _, _ = _run(fragments, plan, fanin=2)
+    assert sorted(tree_rows, key=repr) == sorted(direct_rows, key=repr)
+    assert sorted(tree_rows, key=repr) == sorted(oracle(plan), key=repr)
+    assert harness.executor.metrics.counter("executor.tree_relays").value > 0
+
+
+def test_direct_path_identical_below_fanin():
+    """At the default fan-in the refactor reproduces the old charges."""
+    plan = ScanNode("emp", EMP)
+    _, rows_a, report_a, recv_a = _run({"emp": 8}, plan)
+    _, rows_b, report_b, recv_b = _run({"emp": 8}, plan, fanin=32)
+    assert rows_a == rows_b
+    assert report_a.finished_at == report_b.finished_at
+    assert report_a.messages == report_b.messages
+    assert recv_a == recv_b
