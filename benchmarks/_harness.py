@@ -16,6 +16,7 @@ gate and the A4 determinism gate pin their baselines with.
 
 from __future__ import annotations
 
+import argparse
 import hashlib
 import pathlib
 import time
@@ -24,6 +25,43 @@ from collections.abc import Iterable, Sequence
 from repro.machine.profile import LoopProfiler
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def build_parser(
+    description: str,
+    *,
+    seed: int | None = None,
+    out: pathlib.Path | None = None,
+    quick_help: str | None = None,
+    n_nodes: Sequence[int] | None = None,
+) -> argparse.ArgumentParser:
+    """The shared CLI skeleton for the ``bench_*`` entry points.
+
+    Every bench that wants a flag gets the *same* flag: ``--seed``
+    (default per bench), ``--out`` (a file or directory path), ``--quick``
+    (reduced sweep), ``--n-nodes`` (machine sizes).  Pass a default to
+    opt a flag in; leave it ``None`` to keep it off that bench's CLI.
+    Benches add their own extra flags on the returned parser.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    if seed is not None:
+        parser.add_argument(
+            "--seed", type=int, default=seed,
+            help=f"workload/fault RNG seed (default {seed})",
+        )
+    if out is not None:
+        parser.add_argument(
+            "--out", type=pathlib.Path, default=out,
+            help="output path (created if missing)",
+        )
+    if quick_help is not None:
+        parser.add_argument("--quick", action="store_true", help=quick_help)
+    if n_nodes is not None:
+        parser.add_argument(
+            "--n-nodes", type=int, nargs="+", default=list(n_nodes),
+            help="machine sizes to sweep",
+        )
+    return parser
 
 
 def digest(value: object) -> str:

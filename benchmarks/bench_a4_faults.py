@@ -23,7 +23,6 @@ twice with the same seed and diff the files bit-for-bit::
 
 from __future__ import annotations
 
-import argparse
 import json
 import pathlib
 import sys
@@ -45,6 +44,7 @@ from repro.core.faults import (  # noqa: E402
     FaultInjector,
 )
 
+from _harness import build_parser  # noqa: E402
 from _harness import combined_fingerprint as _combined  # noqa: E402
 from _harness import report  # noqa: E402
 
@@ -281,12 +281,10 @@ def test_a4_different_seed_changes_nothing_functional(benchmark):
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument(
-        "--out",
-        type=pathlib.Path,
-        default=HERE / "results" / "a4_fingerprints.json",
+    parser = build_parser(
+        __doc__.splitlines()[0],
+        seed=7,
+        out=HERE / "results" / "a4_fingerprints.json",
     )
     args = parser.parse_args(argv)
     matrix = run_matrix(args.seed)

@@ -15,7 +15,6 @@ diffs the output trees bit-for-bit::
 
 from __future__ import annotations
 
-import argparse
 import json
 import pathlib
 import sys
@@ -24,7 +23,10 @@ HERE = pathlib.Path(__file__).resolve().parent
 SRC = HERE.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+if str(HERE) not in sys.path:
+    sys.path.insert(0, str(HERE))
 
+from _harness import build_parser  # noqa: E402
 from repro import MachineConfig, PrismaDB  # noqa: E402
 from repro.machine import PacketNetwork  # noqa: E402
 from repro.machine.traffic import run_load_point  # noqa: E402
@@ -97,13 +99,10 @@ def kinds(tracer: Tracer) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--seed", type=int, default=17)
-    parser.add_argument(
-        "--out",
-        type=pathlib.Path,
-        default=HERE / "results" / "obs_trace",
-        help="output directory (created if missing)",
+    parser = build_parser(
+        __doc__.splitlines()[0],
+        seed=17,
+        out=HERE / "results" / "obs_trace",
     )
     args = parser.parse_args(argv)
     args.out.mkdir(parents=True, exist_ok=True)

@@ -21,16 +21,26 @@ and are fingerprint-pinned by the ``scale`` suite of ``perf_gate.py``;
 larger sizes are wall-gated only (the 1024-PE construction smoke also
 hard-gates laziness: zero routing columns may exist after build).
 
+A fourth leg, ``--rebalance``, runs the online re-fragmentation A/B
+(ISSUE 10): the same skewed serving mix twice on separate databases,
+once with the :class:`~repro.core.rebalance.Rebalancer` stepping between
+a profiling phase and a measurement phase and once without, and checks
+both the end-state row oracle (no row lost or duplicated) and that the
+rebalanced arm's simulated read p99 improves at >= 256 PEs.  Its JSON
+output is simulation-only (no wall times), so CI can diff two same-seed
+runs byte for byte.
+
 Run::
 
     python benchmarks/bench_scaling.py                # full curve, JSON out
     python benchmarks/bench_scaling.py --quick        # 64/256 + smoke
     python benchmarks/bench_scaling.py --n-nodes 64 256 512
+    python benchmarks/bench_scaling.py --rebalance --n-nodes 64 256
 """
 
 from __future__ import annotations
 
-import argparse
+import dataclasses
 import json
 import math
 import pathlib
@@ -42,6 +52,7 @@ SRC = HERE.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from _harness import build_parser  # noqa: E402
 from repro import MachineConfig, PrismaDB  # noqa: E402
 from repro.core.workload import (  # noqa: E402
     ConcurrentSessionDriver,
@@ -66,6 +77,15 @@ NETWORK_POINT = {"rate_per_node_pps": 2_000, "warmup_s": 0.002,
 #: exercise the tree gather/broadcast path (fanin 32 < 64 fragments).
 SERVING_POINT = {"n_sessions": 40, "ops_per_session": 4, "seed": 42,
                  "n_keys": 256, "admission_slots": 8}
+
+#: Rebalancing A/B: a strongly skewed mix (Zipf 1.5 over 192 keys) so a
+#: few fragments run hot, profiled for one driver run, then measured for
+#: a second seeded run after ``rounds`` rebalancer steps (or none).
+REBALANCE_POINT = {"n_sessions": 24, "ops_per_session": 10, "seed": 42,
+                   "n_keys": 192, "zipf_alpha": 1.5, "admission_slots": 8,
+                   "rounds": 3, "hot_ratio": 1.5,
+                   "read_weight": 0.70, "update_weight": 0.20,
+                   "insert_weight": 0.05, "analytics_weight": 0.05}
 
 
 def chord_skip(n_nodes: int) -> int:
@@ -164,6 +184,122 @@ def serving_point(n_nodes: int, topology: str) -> dict:
     }
 
 
+def _row_multiset(db: PrismaDB) -> list[tuple]:
+    """Host-side end-state oracle: every row on every primary copy.
+
+    Reads the OFM tables directly (no SQL) so taking the oracle does not
+    advance the simulation and the measured arm stays comparable.
+    """
+    rows: list[tuple] = []
+    for fragment in db.gdh.catalog.table("kv").fragments:
+        ofm = db.gdh.fragment_ofms[fragment.ofm_name]
+        rows.extend(tuple(row) for _rid, row in ofm.table.scan())
+    return sorted(rows)
+
+
+def rebalance_arm(n_nodes: int, topology: str, rebalance: bool) -> dict:
+    """One arm of the A/B: profile run, (maybe) rebalance, measure run."""
+    p = REBALANCE_POINT
+    db = PrismaDB(scale_config(n_nodes, topology, disks=True))
+    fragments = serving_fragments(n_nodes)
+    db.execute(
+        "CREATE TABLE kv (id INT PRIMARY KEY, v INT)"
+        f" FRAGMENTED BY HASH(id) INTO {fragments}"
+    )
+    db.bulk_load("kv", [(i, i * 3) for i in range(p["n_keys"])])
+    install_serving(db, admission_slots=p["admission_slots"])
+    db.gdh.executor.read_routing = "nearest"
+    db.quiesce()
+    spec = ServingWorkloadSpec(
+        n_sessions=p["n_sessions"],
+        ops_per_session=p["ops_per_session"],
+        seed=p["seed"],
+        n_keys=p["n_keys"],
+        zipf_alpha=p["zipf_alpha"],
+        read_weight=p["read_weight"],
+        update_weight=p["update_weight"],
+        insert_weight=p["insert_weight"],
+        analytics_weight=p["analytics_weight"],
+    )
+    profile = ConcurrentSessionDriver(db, spec).run()
+
+    actions: list[tuple] = []
+    oracle_ok = True
+    if rebalance:
+        db.rebalancer.hot_ratio = p["hot_ratio"]
+        before = _row_multiset(db)
+        for _ in range(p["rounds"]):
+            actions.extend(db.rebalancer.step("kv"))
+        oracle_ok = _row_multiset(db) == before
+        db.quiesce()
+
+    # Second driver on the same database: fresh seed, insert keys offset
+    # past anything the profile phase could have inserted.
+    measure_spec = dataclasses.replace(
+        spec,
+        seed=p["seed"] + 1,
+        insert_key_offset=p["n_sessions"] * p["ops_per_session"],
+    )
+    measure = ConcurrentSessionDriver(db, measure_spec).run()
+    stats = measure.stats()
+    kinds = stats["kinds"]
+    return {
+        "fragments_after": len(db.gdh.catalog.table("kv").fragments),
+        "actions": [list(a) for a in actions],
+        "oracle_ok": oracle_ok,
+        "profile_fingerprint": profile.fingerprint(),
+        "fingerprint": measure.fingerprint(),
+        "throughput_ops": stats["throughput_ops"],
+        "read_p50_ms": kinds["read"]["p50_s"] * 1000,
+        "read_p99_ms": kinds["read"]["p99_s"] * 1000,
+    }
+
+
+def rebalance_ab_point(n_nodes: int, topology: str) -> dict:
+    """Run both arms; at >= 256 PEs the rebalanced arm must win on p99."""
+    off = rebalance_arm(n_nodes, topology, rebalance=False)
+    on = rebalance_arm(n_nodes, topology, rebalance=True)
+    assert on["oracle_ok"], "rebalancing lost or duplicated rows"
+    assert on["actions"], "rebalancer took no action under the skewed mix"
+    assert on["profile_fingerprint"] == off["profile_fingerprint"], (
+        "profile phases diverged before rebalancing"
+    )
+    improved = on["read_p99_ms"] < off["read_p99_ms"]
+    if n_nodes >= 256:
+        assert improved, (
+            f"rebalancing did not improve read p99 at {n_nodes} PEs:"
+            f" on {on['read_p99_ms']:.3f}ms vs off {off['read_p99_ms']:.3f}ms"
+        )
+    return {
+        "n_nodes": n_nodes,
+        "topology": topology,
+        "off": off,
+        "on": on,
+        "p99_improved": improved,
+    }
+
+
+def run_rebalance_ab(
+    nodes: tuple[int, ...] = (64, 256),
+    topologies: tuple[str, ...] = ("mesh",),
+) -> dict:
+    points = []
+    for topology in topologies:
+        for n_nodes in nodes:
+            point = rebalance_ab_point(n_nodes, topology)
+            points.append(point)
+            on, off = point["on"], point["off"]
+            print(
+                f"rebalance[{topology}/{n_nodes}]:"
+                f" off p99 {off['read_p99_ms']:.2f}ms"
+                f" on p99 {on['read_p99_ms']:.2f}ms"
+                f" actions {len(on['actions'])}"
+                f" fragments {off['fragments_after']}->{on['fragments_after']}"
+                f" oracle {'ok' if on['oracle_ok'] else 'FAILED'}"
+            )
+    return {"points": points, "rebalance_point": REBALANCE_POINT}
+
+
 def scale_point(n_nodes: int, topology: str) -> dict:
     return {
         "n_nodes": n_nodes,
@@ -204,21 +340,33 @@ def run_scaling(
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--n-nodes", type=int, nargs="+", default=list(SCALE_NODES),
-        help="machine sizes to sweep",
+    parser = build_parser(
+        __doc__.splitlines()[0],
+        out=RESULTS_PATH,
+        quick_help="64/256 PEs only, plus the 1024-PE construction smoke",
+        n_nodes=SCALE_NODES,
     )
     parser.add_argument(
         "--topologies", nargs="+", default=list(SCALE_TOPOLOGIES),
         choices=list(SCALE_TOPOLOGIES),
     )
     parser.add_argument(
-        "--quick", action="store_true",
-        help="64/256 PEs only, plus the 1024-PE construction smoke",
+        "--rebalance", action="store_true",
+        help="run the rebalancing A/B instead of the scaling curve"
+             " (simulation-only JSON, byte-identical across same-seed runs)",
     )
-    parser.add_argument("--out", type=pathlib.Path, default=RESULTS_PATH)
     args = parser.parse_args(argv)
+
+    if args.rebalance:
+        nodes = [64, 256] if args.quick else args.n_nodes
+        outcome = run_rebalance_ab(tuple(nodes), tuple(args.topologies))
+        out = args.out
+        if out == RESULTS_PATH:
+            out = out.with_name("bench_rebalance.json")
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(json.dumps(outcome, indent=2, sort_keys=True) + "\n")
+        print(f"bench_scaling --rebalance: results written to {out}")
+        return 0
 
     nodes = [64, 256] if args.quick else args.n_nodes
     outcome = run_scaling(tuple(nodes), tuple(args.topologies))

@@ -42,6 +42,11 @@ baseline in ``benchmarks/perf_baseline.json``:
   laziness — building the machine must touch zero routing columns and
   keep router tables under 128 KiB (a dense all-pairs table would be
   megabytes).
+* **rebalance** — online re-fragmentation (ISSUE 10): the 64-PE mesh
+  A/B from ``bench_scaling.py --rebalance``, gated on wall clock, on a
+  fingerprint of both arms' simulated latencies plus the rebalancer's
+  action list, on the end-state row oracle (no row lost or duplicated),
+  and on the rebalanced arm actually improving read p99.
 
 Wall-clock gates fail when the best-of-N wall time regresses by more
 than ``PERF_GATE_MAX_REGRESSION`` (default 0.30, i.e. 30 %) against the
@@ -63,6 +68,7 @@ Run::
     python benchmarks/perf_gate.py --suite columnar
     python benchmarks/perf_gate.py --suite serving
     python benchmarks/perf_gate.py --suite scale
+    python benchmarks/perf_gate.py --suite rebalance
     python benchmarks/perf_gate.py --update-baseline
 
 Writes ``benchmarks/results/bench_perf.json`` either way.
@@ -548,6 +554,90 @@ def check_scale_gates(measured: dict, baseline: dict, wall_gate: bool) -> list[s
     return failures
 
 
+# ---------------------------------------------------------------------------
+# Rebalance suite (ISSUE 10): pinned 64-PE A/B of online re-fragmentation.
+# ---------------------------------------------------------------------------
+
+
+def run_rebalance_once() -> dict:
+    """One 64-PE mesh A/B of the online re-fragmentation control loop."""
+    from bench_scaling import rebalance_ab_point
+
+    start = time.perf_counter()
+    point = rebalance_ab_point(64, "mesh")
+    wall = time.perf_counter() - start
+    on, off = point["on"], point["off"]
+    return {
+        "wall_s": wall,
+        "p99_improved": point["p99_improved"],
+        "oracle_ok": on["oracle_ok"],
+        "fingerprint": {
+            # Both arms' driver fingerprints hash every operation's
+            # simulated latency; the action list and fragment count pin
+            # the control loop's decisions, and the oracle bit pins
+            # row-set preservation across split/migrate.
+            "off": off["fingerprint"],
+            "on": on["fingerprint"],
+            "profile": on["profile_fingerprint"],
+            "actions": on["actions"],
+            "fragments_after": on["fragments_after"],
+            "oracle_ok": on["oracle_ok"],
+        },
+    }
+
+
+def measure_rebalance(repeats: int) -> dict:
+    runs = [run_rebalance_once() for _ in range(repeats)]
+    fingerprints = [run["fingerprint"] for run in runs]
+    for fingerprint in fingerprints[1:]:
+        if fingerprint != fingerprints[0]:
+            raise AssertionError(
+                "rebalance bench is not deterministic across same-process"
+                f" repeats: {fingerprint} != {fingerprints[0]}"
+            )
+    best = min(runs, key=lambda run: run["wall_s"])
+    return {
+        "wall_s": best["wall_s"],
+        "wall_s_all": [round(run["wall_s"], 4) for run in runs],
+        "p99_improved": best["p99_improved"],
+        "oracle_ok": best["oracle_ok"],
+        "fingerprint": fingerprints[0],
+    }
+
+
+def check_rebalance_gates(
+    measured: dict, baseline: dict, wall_gate: bool
+) -> list[str]:
+    failures = []
+    entry = baseline.get("rebalance")
+    if entry is None:
+        failures.append("rebalance bench has no committed baseline")
+        return failures
+    if measured["fingerprint"] != entry["expected"]:
+        failures.append(
+            "rebalance fingerprint drift: the A/B latencies, the action"
+            " list, or the row oracle are no longer bit-identical to the"
+            " committed baseline — got"
+            f" {measured['fingerprint']}, pinned {entry['expected']};"
+            " regenerate benchmarks/perf_baseline.json deliberately"
+        )
+    if not measured["oracle_ok"]:
+        failures.append("rebalance oracle: rows were lost or duplicated")
+    if not measured["p99_improved"]:
+        failures.append(
+            "rebalancing no longer improves read p99 on the skewed 64-PE mix"
+        )
+    threshold = wall_threshold()
+    wall, base_wall = measured["wall_s"], entry["committed"]["wall_s"]
+    if wall_gate and wall > base_wall * (1 + threshold):
+        failures.append(
+            f"rebalance wall-clock regression: {wall:.3f}s vs baseline"
+            f" {base_wall:.3f}s (+{(wall / base_wall - 1) * 100:.1f}%,"
+            f" limit {threshold * 100:.0f}%)"
+        )
+    return failures
+
+
 def measure_executor(repeats: int) -> dict:
     measured = {}
     for name, bench in EXECUTOR_BENCHES.items():
@@ -924,7 +1014,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--suite",
-        choices=["all", "network", "executor", "obs", "columnar", "serving", "scale"],
+        choices=["all", "network", "executor", "obs", "columnar", "serving",
+                 "scale", "rebalance"],
         default="all",
         help="which benchmark family to run",
     )
@@ -1144,6 +1235,35 @@ def main(argv: list[str] | None = None) -> int:
         else:
             failures.extend(
                 check_scale_gates(measured_scale, baseline, not args.no_wall_gate)
+            )
+
+    if args.suite in ("all", "rebalance"):
+        measured_reb = measure_rebalance(args.repeats)
+        report["rebalance"] = measured_reb
+        fp = measured_reb["fingerprint"]
+        print(
+            f"perf_gate[rebalance]: wall {measured_reb['wall_s']:.3f}s"
+            f"  actions {len(fp['actions'])}"
+            f"  fragments -> {fp['fragments_after']}"
+            f"  oracle {'ok' if measured_reb['oracle_ok'] else 'FAILED'}"
+            f"  p99 {'improved' if measured_reb['p99_improved'] else 'FLAT'}"
+        )
+        if updating:
+            new_baseline["rebalance"] = {
+                "benchmark": (
+                    "64-PE mesh rebalancing A/B: 240-op Zipf-1.5 profile +"
+                    " measure phases, 3 rebalancer rounds vs none, end-state"
+                    " row oracle (bench_scaling.py --rebalance)"
+                ),
+                "committed": {
+                    "wall_s": round(measured_reb["wall_s"], 4),
+                    "host": platform.platform(),
+                },
+                "expected": measured_reb["fingerprint"],
+            }
+        else:
+            failures.extend(
+                check_rebalance_gates(measured_reb, baseline, not args.no_wall_gate)
             )
 
     if updating:

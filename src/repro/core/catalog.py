@@ -74,6 +74,24 @@ class TableInfo:  # prismalint: disable=PL103 -- stats() here returns optimizer 
     def fragment_nodes(self) -> list[int]:
         return [fragment.node_id for fragment in self.fragments]
 
+    def fragment(self, fragment_id: int) -> FragmentInfo:
+        """The entry for *fragment_id*.
+
+        Position usually equals id, but an online merge removes entries,
+        leaving id gaps — so fall back to a search when they diverge.
+        """
+        if (
+            0 <= fragment_id < len(self.fragments)
+            and self.fragments[fragment_id].fragment_id == fragment_id
+        ):
+            return self.fragments[fragment_id]
+        for fragment in self.fragments:
+            if fragment.fragment_id == fragment_id:
+                return fragment
+        raise CatalogError(
+            f"table {self.name!r} has no fragment {fragment_id}"
+        )
+
 
 class Catalog:
     """The data dictionary: name -> TableInfo, plus schema views."""

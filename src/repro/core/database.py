@@ -158,6 +158,7 @@ class PrismaDB:
         )
         self.recovery = RecoveryManager(self.gdh)
         self._observatory: Observatory | None = None
+        self._rebalancer = None
         self._default_session = self.session()
 
     # -- sessions --------------------------------------------------------------
@@ -408,6 +409,24 @@ class PrismaDB:
     def resolve_in_doubt(self) -> InDoubtResolution:
         """Resolve transactions left hanging by a halted coordinator."""
         return self.recovery.resolve_in_doubt()
+
+    # -- online rebalancing ------------------------------------------------------------
+
+    @property
+    def rebalancer(self):
+        """The online re-fragmentation supervisor (created on first use).
+
+        Imported lazily like :meth:`connect`: ``repro.core.database``
+        never pays for the rebalancer unless it is asked for.  Accessing
+        it also registers the ``rebalanced`` fragmentation kind, which
+        the dictionary needs to deserialize a catalog that was
+        rebalanced before a restart.
+        """
+        if self._rebalancer is None:
+            from repro.core.rebalance import Rebalancer
+
+            self._rebalancer = Rebalancer(self.gdh)
+        return self._rebalancer
 
     # -- introspection ---------------------------------------------------------------------
 

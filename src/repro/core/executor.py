@@ -44,6 +44,7 @@ from repro.algebra.plan import (
     ValuesNode,
 )
 from repro.core.catalog import Catalog
+from repro.obs.api import SnapshotMixin
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import active
 from repro.ofm.manager import OFMProfile, OneFragmentManager
@@ -60,6 +61,61 @@ BROADCAST_ROWS = 200
 #: every 64-PE workload (max 16 fragments anywhere in the repo) on the
 #: historical direct path, so the pinned fingerprints are untouched.
 MULTICAST_FANIN = 32
+
+
+class FragmentAccessTracker(SnapshotMixin):
+    """Per-fragment access heat: how often each fragment is touched.
+
+    Host-side bookkeeping only — recording an access charges nothing
+    and moves no simulated clock, so enabling it never perturbs the
+    pinned fingerprints.  The online rebalancer
+    (:mod:`repro.core.rebalance`) reads these counters to find hot
+    fragments; ``mark()``/``delta_since()`` give it per-round deltas.
+    """
+
+    def __init__(self) -> None:
+        #: (table, fragment_id) -> accesses since construction/reset.
+        self.counts: dict[tuple[str, int], int] = {}
+        self._marks: dict[tuple[str, int], int] = {}
+
+    def record(self, table: str, fragment_id: int, weight: int = 1) -> None:
+        key = (table, fragment_id)
+        self.counts[key] = self.counts.get(key, 0) + weight
+
+    def table_counts(self, table: str) -> dict[int, int]:
+        """fragment_id -> total accesses for one table."""
+        return {
+            fragment_id: count
+            for (name, fragment_id), count in self.counts.items()
+            if name == table
+        }
+
+    def mark(self) -> None:
+        """Start a new observation window (rebalancer round boundary)."""
+        self._marks = dict(self.counts)
+
+    def delta_since(self, table: str) -> dict[int, int]:
+        """Per-fragment accesses for *table* since the last :meth:`mark`."""
+        delta: dict[int, int] = {}
+        for (name, fragment_id), count in self.counts.items():
+            if name != table:
+                continue
+            seen = self._marks.get((name, fragment_id), 0)
+            if count > seen:
+                delta[fragment_id] = count - seen
+        return delta
+
+    # -- Snapshot ----------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            f"{table}.{fragment_id}": count
+            for (table, fragment_id), count in sorted(self.counts.items())
+        }
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self._marks.clear()
 
 
 @dataclass
@@ -158,6 +214,14 @@ class DistributedExecutor:
         #: Cold-path instruments (per query / per shuffle, never per
         #: row); surfaced through ``PrismaDB.observe()`` as "metrics".
         self.metrics = MetricsRegistry()
+        #: Per-fragment read heat (host-side only); the GDH adds DML
+        #: touches so the rebalancer sees the full access mix.
+        self.access = FragmentAccessTracker()
+        #: Which copy serves a read: "ready" picks the copy whose
+        #: element frees earliest (the historical policy, fingerprint-
+        #: pinned); "nearest" prefers the copy fewest hops from the
+        #: query process, breaking ties by readiness.
+        self.read_routing = "ready"
         self._temp_counter = 0
         # Per-execution state:
         self._query_process: PoolProcess | None = None
@@ -407,12 +471,16 @@ class DistributedExecutor:
     def _scan_copies(self, info, fragment_ids: list[int] | None):
         """Yield the chosen copy OFM for each wanted fragment.
 
-        Read load-balancing across fragment copies: pick the copy whose
-        element is free earliest (Section 2.2's "same copy" wording —
-        different readers may use different copies).  Copies that died
-        with their element, or that the network can no longer reach
-        from the query process, are skipped — reads fail over to a live
-        replica and only error when no copy at all survives.
+        Read load-balancing across fragment copies (Section 2.2's "same
+        copy" wording — different readers may use different copies):
+        under the default ``read_routing="ready"`` policy pick the copy
+        whose element is free earliest; under ``"nearest"`` prefer the
+        live copy fewest link hops from the query process (replica-aware
+        routing — ties broken by readiness then name, so the choice
+        stays deterministic).  Copies that died with their element, or
+        that the network can no longer reach from the query process,
+        are skipped — reads fail over to a live replica and only error
+        when no copy at all survives.
         """
         wanted = set(fragment_ids) if fragment_ids is not None else None
         machine = self.runtime.machine
@@ -442,7 +510,18 @@ class DistributedExecutor:
                     f"no live reachable copy of fragment {fragment.fragment_id}"
                     f" of table {info.name!r}"
                 )
-            yield min(live, key=lambda c: (c.ready_at, c.name))
+            self.access.record(info.name, fragment.fragment_id)
+            if self.read_routing == "nearest":
+                yield min(
+                    live,
+                    key=lambda c: (
+                        machine.current_hops(origin, c.node_id),
+                        c.ready_at,
+                        c.name,
+                    ),
+                )
+            else:
+                yield min(live, key=lambda c: (c.ready_at, c.name))
 
     def _exec_ScanNode(self, plan: ScanNode, fragment_ids: list[int] | None = None) -> DistRelation:
         info = self.catalog.table(plan.table_name)

@@ -197,6 +197,22 @@ class FaultInjector:
         self._require_runtime().machine.restore_link(u, v)
         self._log("restore_link", str(u), str(v))
 
+    def scope(
+        self,
+        nodes: tuple[int, ...] | list[int] = (),
+        links: tuple[tuple[int, int], ...] | list[tuple[int, int]] = (),
+    ):
+        """Scoped faults with guaranteed restore, through the injector.
+
+        The logged twin of :meth:`Machine.faults
+        <repro.machine.machine.Machine.faults>`: element failures also
+        crash resident processes, and every transition lands in the
+        injection log (so the scope shows up in the determinism
+        fingerprint).  ``with db.faults.scope(nodes=[3]): ...``
+        """
+        machine = self._require_runtime().machine
+        return machine.fault_board.scope(nodes=nodes, links=links, injector=self)
+
     # -- event-loop fault schedule -------------------------------------------
 
     def schedule(self, at_time: float, kind: str, *args: int) -> None:

@@ -17,10 +17,36 @@ from repro.errors import CatalogError
 from repro.storage.schema import Schema
 
 
+#: kind string -> scheme class, populated by ``__init_subclass__`` (the
+#: same pattern prismalint's ``Rule`` registry uses).  Derived schemes —
+#: e.g. the rebalancer's bucket-remap scheme — register themselves by
+#: subclassing with ``kind=...`` instead of editing ``from_spec``.
+_SCHEME_KINDS: dict[str, type["FragmentationScheme"]] = {}
+
+
+def registered_kinds() -> list[str]:
+    """The fragmentation kinds the dictionary can deserialize."""
+    return sorted(_SCHEME_KINDS)
+
+
 class FragmentationScheme:
     """Maps rows to fragment numbers ``0..n_fragments-1``."""
 
     n_fragments: int
+    #: Registry key of concrete subclasses (set by ``__init_subclass__``).
+    spec_kind: str = ""
+
+    def __init_subclass__(cls, kind: str | None = None, **kwargs: Any):
+        super().__init_subclass__(**kwargs)
+        if kind is not None:
+            existing = _SCHEME_KINDS.get(kind)
+            if existing is not None and existing is not cls:
+                raise CatalogError(
+                    f"fragmentation kind {kind!r} already registered"
+                    f" by {existing.__name__}"
+                )
+            cls.spec_kind = kind
+            _SCHEME_KINDS[kind] = cls
 
     def fragment_of(self, row: tuple) -> int:
         raise NotImplementedError
@@ -44,22 +70,21 @@ class FragmentationScheme:
         """JSON-able description (persisted in the data dictionary)."""
         raise NotImplementedError
 
+    @classmethod
+    def _from_spec(cls, spec: dict) -> "FragmentationScheme":
+        """Rebuild an instance from its :meth:`to_spec` payload."""
+        raise NotImplementedError
+
     @staticmethod
     def from_spec(spec: dict) -> "FragmentationScheme":
-        kind = spec["kind"]
-        if kind == "hash":
-            return HashFragmentation(spec["column"], spec["n_fragments"])
-        if kind == "range":
-            return RangeFragmentation(spec["column"], tuple(spec["boundaries"]))
-        if kind == "roundrobin":
-            return RoundRobinFragmentation(spec["n_fragments"])
-        if kind == "single":
-            return SingleFragment()
-        raise CatalogError(f"unknown fragmentation kind {kind!r}")
+        scheme_cls = _SCHEME_KINDS.get(spec["kind"])
+        if scheme_cls is None:
+            raise CatalogError(f"unknown fragmentation kind {spec['kind']!r}")
+        return scheme_cls._from_spec(spec)
 
 
 @dataclass
-class SingleFragment(FragmentationScheme):
+class SingleFragment(FragmentationScheme, kind="single"):
     """No fragmentation: the whole relation in one OFM."""
 
     n_fragments: int = 1
@@ -73,8 +98,12 @@ class SingleFragment(FragmentationScheme):
     def to_spec(self) -> dict:
         return {"kind": "single", "n_fragments": 1}
 
+    @classmethod
+    def _from_spec(cls, spec: dict) -> "SingleFragment":
+        return cls()
 
-class HashFragmentation(FragmentationScheme):
+
+class HashFragmentation(FragmentationScheme, kind="hash"):
     """Hash on one column: equal values share a fragment (good for
     equi-joins and point lookups on the key)."""
 
@@ -105,8 +134,12 @@ class HashFragmentation(FragmentationScheme):
             "n_fragments": self.n_fragments,
         }
 
+    @classmethod
+    def _from_spec(cls, spec: dict) -> "HashFragmentation":
+        return cls(spec["column"], spec["n_fragments"])
 
-class RangeFragmentation(FragmentationScheme):
+
+class RangeFragmentation(FragmentationScheme, kind="range"):
     """Range on one column: boundaries ``(b0 < b1 < ...)`` create
     fragments ``(-inf, b0), [b0, b1), ..., [bk, +inf)``."""
 
@@ -147,8 +180,12 @@ class RangeFragmentation(FragmentationScheme):
             "boundaries": list(self.boundaries),
         }
 
+    @classmethod
+    def _from_spec(cls, spec: dict) -> "RangeFragmentation":
+        return cls(spec["column"], tuple(spec["boundaries"]))
 
-class RoundRobinFragmentation(FragmentationScheme):
+
+class RoundRobinFragmentation(FragmentationScheme, kind="roundrobin"):
     """Round-robin: perfect balance, no pruning (a stateful scheme —
     each table keeps its own instance)."""
 
@@ -168,6 +205,10 @@ class RoundRobinFragmentation(FragmentationScheme):
 
     def to_spec(self) -> dict:
         return {"kind": "roundrobin", "n_fragments": self.n_fragments}
+
+    @classmethod
+    def _from_spec(cls, spec: dict) -> "RoundRobinFragmentation":
+        return cls(spec["n_fragments"])
 
 
 def stable_hash(value: Any) -> int:

@@ -30,7 +30,7 @@ from repro.errors import (
 from repro.exec.expressions import ColumnRef, Comparison, Literal, conjuncts
 from repro.algebra.optimizer import Optimizer, OptimizerOptions
 from repro.algebra.plan import PlanNode, ScanNode
-from repro.core.allocation import DataAllocationManager
+from repro.core.allocation import DataAllocationManager, FragmentPlacement
 from repro.core.catalog import Catalog, FragmentInfo, IndexInfo, TableInfo
 from repro.core.executor import DistributedExecutor
 from repro.core.faults import FaultInjector
@@ -109,6 +109,7 @@ class GlobalDataHandler:
         default_fragments: int | None = None,
         disk_resident: bool = False,
         faults: FaultInjector | None = None,
+        placement: FragmentPlacement | None = None,
     ):
         self.runtime = runtime
         #: E3 baseline switch: conventional disk-resident storage.
@@ -125,7 +126,12 @@ class GlobalDataHandler:
         self.two_phase = TwoPhaseCommit(
             runtime, self.commit_log, allow_one_phase, faults=self.faults
         )
-        self.allocator = DataAllocationManager(self.machine, reserve_node=GDH_NODE)
+        #: Where fragment copies live is a policy decision
+        #: (:class:`~repro.core.allocation.FragmentPlacement`); the
+        #: default reproduces the historical most-free-memory spread.
+        self.allocator = DataAllocationManager(
+            self.machine, reserve_node=GDH_NODE, policy=placement
+        )
         self.fragment_ofms: dict[str, OneFragmentManager] = {}
         self.compiled_expressions = compiled_expressions
         self.optimizer_options = optimizer_options or OptimizerOptions()
@@ -343,25 +349,12 @@ class GlobalDataHandler:
             ofm_name = f"{name}.{fragment_id}"
             spawn_copy(ofm_name, node_id)
             # Replica copies live on distinct elements (availability and
-            # read load-balancing; Section 2.2 speaks of fragment copies).
+            # read load-balancing; Section 2.2 speaks of fragment copies);
+            # which element each copy gets is the placement policy's call.
             replica_entries = []
             used_nodes = {node_id}
             for replica_index in range(1, n_copies):
-                candidates = [
-                    n for n in range(self.machine.n_nodes) if n not in used_nodes
-                ]
-                if len(candidates) > 1 and GDH_NODE in candidates:
-                    candidates.remove(GDH_NODE)
-                # Spread copies: fewest hosted processes first, then most
-                # free memory.
-                candidates.sort(
-                    key=lambda n: (
-                        self.machine.node(n).stats.processes_started,
-                        -self.machine.node(n).memory.available,
-                        n,
-                    )
-                )
-                replica_node = candidates[0]
+                replica_node = self.allocator.place_replica(node_id, used_nodes)
                 used_nodes.add(replica_node)
                 replica_name = f"{name}.{fragment_id}r{replica_index}"
                 spawn_copy(replica_name, replica_node)
@@ -399,7 +392,7 @@ class GlobalDataHandler:
         fragment with no live copy must fail loudly, not silently skip
         the fragment and diverge from the durable state.
         """
-        fragment = info.fragments[fragment_id]
+        fragment = info.fragment(fragment_id)
         copies = [
             self.fragment_ofms[ofm_name]
             for _node, ofm_name in fragment.all_copies()
@@ -422,20 +415,21 @@ class GlobalDataHandler:
                         return info, fragment, copy_node
         raise CatalogError(f"no catalog entry places fragment copy {ofm_name!r}")
 
-    def respawn_fragment_ofm(
-        self, info: TableInfo, ofm_name: str, node_id: int
+    def spawn_fragment_copy(
+        self, info: TableInfo, ofm_name: str, node_id: int, start_at: float
     ) -> OneFragmentManager:
-        """Spawn a fresh OFM process for a fragment copy lost to a crash.
+        """Spawn an empty OFM for one fragment copy of *info*.
 
-        The new process starts empty; the caller replays its durable WAL
-        (same name => same `wal/<name>/...` keys) via
-        :meth:`RecoveryManager.restart_fragments`.
+        Recreates the table's secondary indexes and registers the OFM;
+        used by crash recovery (same name => same ``wal/<name>/...``
+        keys to replay) and by the online rebalancer (new name, filled
+        by the copy phase).
         """
         ofm = self.runtime.spawn(
             OneFragmentManager,
             name=ofm_name,
             node=node_id,
-            start_at=self.gdh_process.ready_at,
+            start_at=start_at,
             schema=info.schema,
             profile=OFMProfile.FULL,
             compiled_expressions=self.compiled_expressions,
@@ -445,6 +439,19 @@ class GlobalDataHandler:
             ofm.create_index(index.name, index.columns, index.unique, index.method)
         self.fragment_ofms[ofm_name] = ofm
         return ofm
+
+    def respawn_fragment_ofm(
+        self, info: TableInfo, ofm_name: str, node_id: int
+    ) -> OneFragmentManager:
+        """Spawn a fresh OFM process for a fragment copy lost to a crash.
+
+        The new process starts empty; the caller replays its durable WAL
+        (same name => same `wal/<name>/...` keys) via
+        :meth:`RecoveryManager.restart_fragments`.
+        """
+        return self.spawn_fragment_copy(
+            info, ofm_name, node_id, self.gdh_process.ready_at
+        )
 
     def _build_index_everywhere(self, info: TableInfo, index: IndexInfo) -> None:
         for fragment in info.fragments:
@@ -503,6 +510,19 @@ class GlobalDataHandler:
         self.ddl_epoch += 1
         if self.plan_cache is not None:
             self.plan_cache.invalidate(self.ddl_epoch)
+
+    def placement_changed(self) -> None:
+        """A fragment moved, split, or merged without a DDL statement.
+
+        The plan cache's contract is that no cached plan ever routes to
+        a moved fragment, but historically only DDL *statements* bumped
+        the epoch — an online placement change left stale plans live.
+        Every rebalance flip funnels through here: bump the epoch (which
+        invalidates the cache) and force the dictionary to disk, exactly
+        as DDL does.
+        """
+        self._ddl_changed()
+        self._persist_catalog()
 
     def _persist_catalog(self) -> None:
         """The data dictionary is durable state: force it on DDL."""
@@ -835,6 +855,7 @@ class GlobalDataHandler:
             raise
         try:
             for fragment_id, rows in sorted(routed.items()):
+                self.executor.access.record(info.name, fragment_id)
                 for ofm in self.fragment_copies(info, fragment_id):
                     # Participant first: if a later row fails, the abort
                     # must undo the earlier rows on this fragment.
@@ -906,6 +927,7 @@ class GlobalDataHandler:
             affected = 0
             moved_rows: list[tuple] = []
             for fragment_id in fragment_ids:
+                self.executor.access.record(info.name, fragment_id)
                 for copy_index, ofm in enumerate(
                     self.fragment_copies(info, fragment_id)
                 ):
@@ -973,6 +995,7 @@ class GlobalDataHandler:
         try:
             affected = 0
             for fragment_id in fragment_ids:
+                self.executor.access.record(info.name, fragment_id)
                 for copy_index, ofm in enumerate(
                     self.fragment_copies(info, fragment_id)
                 ):

@@ -48,6 +48,39 @@ def _fingerprint(*fields_: object) -> str:
     return hashlib.sha256(repr(fields_).encode("utf-8")).hexdigest()
 
 
+def sync_copy_from(
+    gdh: GlobalDataHandler,
+    source: OneFragmentManager,
+    dest: OneFragmentManager,
+) -> tuple[bool, float]:
+    """Make *dest* hold exactly *source*'s rows (row ids included).
+
+    The copy phase shared by replica catch-up (a recovering copy whose
+    WAL missed the outage) and online migration (a new copy being filled
+    before the catalog flip): ship the source's state across the
+    network, rebuild the destination table, and checkpoint the result so
+    the destination's own WAL is authoritative from here on.  A no-op —
+    (False, 0.0) — when the two copies already agree.
+
+    Returns (did copy, simulated cost on *dest*).
+    """
+    theirs = dict(source.table.scan())
+    if dict(dest.table.scan()) == theirs:
+        return False, 0.0
+    before = dest.ready_at
+    rows = sorted(theirs.items())
+    dest.table.truncate()
+    for rid, row in rows:
+        dest.table.insert_with_rid(rid, row)
+    gdh.runtime.send(source, dest, max(64, source.table.data_bytes))
+    dest.charge(gdh.machine.cpu_time(tuples=len(rows)), tuples=len(rows))
+    if dest.wal is not None:
+        # Make the copied state durable: stale WAL chunks under the
+        # destination's name must not win the next replay.
+        dest.charge(dest.wal.checkpoint(rows))
+    return True, dest.ready_at - before
+
+
 @dataclass
 class CrashReport:
     """What a simulated crash destroyed."""
@@ -436,21 +469,7 @@ class RecoveryManager:
         )
         if sibling is None:
             return False, 0.0
-        theirs = dict(sibling.table.scan())
-        if dict(ofm.table.scan()) == theirs:
-            return False, 0.0
-        before = ofm.ready_at
-        rows = sorted(theirs.items())
-        ofm.table.truncate()
-        for rid, row in rows:
-            ofm.table.insert_with_rid(rid, row)
-        gdh.runtime.send(sibling, ofm, max(64, sibling.table.data_bytes))
-        ofm.charge(gdh.machine.cpu_time(tuples=len(rows)), tuples=len(rows))
-        if ofm.wal is not None:
-            # Make the caught-up state durable: the stale WAL chunks
-            # must not win the next replay.
-            ofm.charge(ofm.wal.checkpoint(rows))
-        return True, ofm.ready_at - before
+        return sync_copy_from(gdh, sibling, ofm)
 
     # -- in-doubt resolution ---------------------------------------------------
 

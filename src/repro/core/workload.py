@@ -183,6 +183,11 @@ class ServingWorkloadSpec:
     update_weight: float = 0.25
     insert_weight: float = 0.05
     analytics_weight: float = 0.10
+    #: Added to every generated insert key.  Lets a second driver run on
+    #: the same database (e.g. the measure phase of a rebalancing A/B
+    #: after a profiling phase) without colliding with the first run's
+    #: inserted keys.
+    insert_key_offset: int = 0
 
 
 class ZipfSampler:
@@ -386,7 +391,11 @@ class ConcurrentSessionDriver:
                 )
             elif kind == "insert":
                 self._insert_counter += 1
-                key = self.INSERT_KEY_BASE + self._insert_counter
+                key = (
+                    self.INSERT_KEY_BASE
+                    + spec.insert_key_offset
+                    + self._insert_counter
+                )
                 client.cursor.execute(
                     self.INSERT_SQL.format(table=spec.table), (key, 0)
                 )

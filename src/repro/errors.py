@@ -167,6 +167,11 @@ class RecoveryError(PrismaError):
     """Log corruption or an impossible state during restart recovery."""
 
 
+class RebalanceError(PrismaError):
+    """An online split/merge/migration could not run (wrong scheme,
+    unsplittable fragment, no live source copy, unknown fragment)."""
+
+
 # ---------------------------------------------------------------------------
 # Serving-layer errors.
 # ---------------------------------------------------------------------------

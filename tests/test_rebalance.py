@@ -1,0 +1,403 @@
+"""Online re-fragmentation (ISSUE 10): scheme editing, the three-phase
+migrate/split/merge protocol, replica-aware read routing, the fault
+facade, and the shared benchmark CLI builder."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+from repro import MachineConfig, PrismaDB
+from repro.core.faults import FaultInjector
+from repro.core.fragmentation import (
+    FragmentationScheme,
+    HashFragmentation,
+    registered_kinds,
+)
+from repro.core.rebalance import RebalancedFragmentation, Rebalancer
+from repro.errors import RebalanceError
+from repro.machine.machine import Machine
+from repro.serve import install_serving
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def make_db(n_nodes=12, replicas=0, rows=60, topology="mesh"):
+    db = PrismaDB(
+        MachineConfig(n_nodes=n_nodes, disk_nodes=(0, n_nodes // 2),
+                      topology=topology)
+    )
+    ddl = (
+        "CREATE TABLE t (id INT PRIMARY KEY, v INT)"
+        " FRAGMENTED BY HASH(id) INTO 3"
+    )
+    if replicas:
+        ddl += f" WITH {replicas} REPLICAS"
+    db.execute(ddl)
+    db.bulk_load("t", [(i, i * 7) for i in range(rows)])
+    db.quiesce()
+    return db
+
+
+def row_multiset(db, table="t"):
+    """Every row on every primary copy, with duplicates preserved."""
+    rows = []
+    for fragment in db.catalog.table(table).fragments:
+        ofm = db.gdh.fragment_ofms[fragment.ofm_name]
+        rows.extend(tuple(row) for _rid, row in ofm.table.scan())
+    return sorted(rows)
+
+
+# ---------------------------------------------------------------------------
+# RebalancedFragmentation: the editable bucket map scheme.
+# ---------------------------------------------------------------------------
+
+
+class TestRebalancedScheme:
+    def test_registered_and_spec_roundtrip(self):
+        assert "rebalanced" in registered_kinds()
+        scheme = RebalancedFragmentation(0, (0, 1, 2, 0, 1, 2))
+        rebuilt = FragmentationScheme.from_spec(scheme.to_spec())
+        assert isinstance(rebuilt, RebalancedFragmentation)
+        assert rebuilt.bucket_map == scheme.bucket_map
+        assert rebuilt.n_fragments == 3
+
+    def test_from_hash_is_row_assignment_identical(self):
+        hashed = HashFragmentation(0, 5)
+        derived = RebalancedFragmentation.from_hash(hashed)
+        for key in range(500):
+            assert derived.fragment_of((key, 0)) == hashed.fragment_of((key, 0))
+
+    def test_pruning_matches_routing(self):
+        scheme = RebalancedFragmentation.from_hash(HashFragmentation(0, 4))
+        for key in range(100):
+            assert scheme.prunable_fragments(0, key) == [
+                scheme.fragment_of((key, 0))
+            ]
+
+    def test_split_moves_half_the_buckets(self):
+        scheme = RebalancedFragmentation.from_hash(HashFragmentation(0, 3))
+        after = scheme.split(1, 3)
+        old = scheme.fragment_buckets(1)
+        assert sorted(after.fragment_buckets(1) + after.fragment_buckets(3)) == old
+        assert after.fragment_buckets(3) == old[1::2]
+        # Untouched fragments route identically.
+        assert after.fragment_buckets(0) == scheme.fragment_buckets(0)
+
+    def test_merge_rehomes_every_bucket(self):
+        scheme = RebalancedFragmentation.from_hash(HashFragmentation(0, 3))
+        after = scheme.merge(2, 0)
+        assert after.fragment_buckets(2) == []
+        assert after.n_fragments == 2
+
+    def test_editing_errors(self):
+        with pytest.raises(RebalanceError):
+            RebalancedFragmentation(0, ())
+        single = RebalancedFragmentation(0, (0, 1))
+        with pytest.raises(RebalanceError):
+            single.split(0, 2)  # one bucket cannot split
+        with pytest.raises(RebalanceError):
+            single.merge(0, 0)
+        with pytest.raises(RebalanceError):
+            single.merge(5, 0)  # owns no buckets
+
+
+# ---------------------------------------------------------------------------
+# The three-phase protocol: migrate / split / merge.
+# ---------------------------------------------------------------------------
+
+
+class TestMigrate:
+    def test_migrate_preserves_rows_and_flips_catalog(self):
+        db = make_db()
+        before = row_multiset(db)
+        fragment = db.catalog.table("t").fragments[0]
+        old_node, old_name = fragment.node_id, fragment.ofm_name
+        action = db.rebalancer.migrate_fragment("t", 0)
+        assert action is not None and action[0] == "migrate"
+        assert fragment.node_id != old_node
+        assert old_name not in db.gdh.fragment_ofms
+        assert fragment.ofm_name in db.gdh.fragment_ofms
+        assert row_multiset(db) == before
+        assert sorted(db.query("SELECT id FROM t WHERE id < 5")) == [
+            (i,) for i in range(5)
+        ]
+
+    def test_migrate_bumps_ddl_epoch(self):
+        db = make_db()
+        epoch = db.gdh.ddl_epoch
+        db.rebalancer.migrate_fragment("t", 0)
+        assert db.gdh.ddl_epoch == epoch + 1
+
+    def test_migrate_invalidates_plan_cache(self):
+        db = make_db()
+        install_serving(db)
+        cursor = db.connect().cursor()
+        cursor.execute("SELECT v FROM t WHERE id = ?", (1,))
+        cursor.execute("SELECT v FROM t WHERE id = ?", (2,))
+        assert len(db.gdh.plan_cache) > 0
+        db.rebalancer.migrate_fragment("t", 0)
+        assert len(db.gdh.plan_cache) == 0
+        # A cached plan pruned to the old placement must not resurface.
+        cursor.execute("SELECT v FROM t WHERE id = ?", (1,))
+        assert cursor.fetchall() == [(7,)]
+
+    def test_migrate_rejects_occupied_target(self):
+        db = make_db(replicas=2)
+        fragment = db.catalog.table("t").fragments[0]
+        replica_node = fragment.replicas[0][0]
+        with pytest.raises(RebalanceError):
+            db.rebalancer.migrate_fragment("t", 0, target_node=replica_node)
+
+    def test_migrate_survives_crash_and_restart(self):
+        db = make_db()
+        before = row_multiset(db)
+        db.rebalancer.migrate_fragment("t", 0)
+        db.crash()
+        db.restart()
+        assert row_multiset(db) == before
+
+    def test_failover_mid_outage_migrates_off_dead_element(self):
+        """Crash the primary's element, then migrate the lost copy away,
+        fed by the surviving replica: zero rows lost or duplicated."""
+        db = make_db(replicas=2)
+        expected = sorted(db.query("SELECT id, v FROM t"))
+        fragment = db.catalog.table("t").fragments[0]
+        victim = fragment.node_id
+        db.crash_element(victim)
+        action = db.rebalancer.migrate_fragment("t", 0)
+        assert action is not None
+        assert fragment.node_id != victim
+        new_primary = db.gdh.fragment_ofms[fragment.ofm_name]
+        assert new_primary.alive and new_primary.node_id == fragment.node_id
+        assert sorted(db.query("SELECT id, v FROM t")) == expected
+
+
+class TestSplit:
+    def test_split_adds_fragment_and_preserves_rows(self):
+        db = make_db()
+        before = row_multiset(db)
+        action = db.rebalancer.split_fragment("t", 0)
+        assert action[0] == "split"
+        info = db.catalog.table("t")
+        assert len(info.fragments) == 4
+        assert row_multiset(db) == before
+        # Every row now lives where the edited scheme routes it.
+        for fragment in info.fragments:
+            ofm = db.gdh.fragment_ofms[fragment.ofm_name]
+            for _rid, row in ofm.table.scan():
+                assert info.scheme.fragment_of(row) == fragment.fragment_id
+
+    def test_split_keeps_point_query_pruning(self):
+        db = make_db()
+        db.rebalancer.split_fragment("t", 1)
+        for key in (0, 7, 23, 59):
+            assert db.query(f"SELECT v FROM t WHERE id = {key}") == [(key * 7,)]
+
+    def test_split_replicated_fragment_places_replicas(self):
+        db = make_db(replicas=2)
+        db.rebalancer.split_fragment("t", 0)
+        new_fragment = db.catalog.table("t").fragments[-1]
+        nodes = [node for node, _name in new_fragment.all_copies()]
+        assert len(new_fragment.all_copies()) == 2
+        assert len(set(nodes)) == 2
+
+
+class TestMerge:
+    def test_merge_folds_rows_and_retires_fragment(self):
+        db = make_db()
+        before = row_multiset(db)
+        action = db.rebalancer.merge_fragments("t", 1, 2)
+        assert action[0] == "merge" and action[4] > 0
+        info = db.catalog.table("t")
+        assert sorted(f.fragment_id for f in info.fragments) == [0, 2]
+        assert row_multiset(db) == before
+
+    def test_merge_leaves_gapped_ids_queryable(self):
+        db = make_db()
+        db.rebalancer.merge_fragments("t", 1, 0)
+        for key in (0, 13, 37, 59):
+            assert db.query(f"SELECT v FROM t WHERE id = {key}") == [(key * 7,)]
+        db.execute("INSERT INTO t VALUES (1000, -1)")
+        assert db.query("SELECT v FROM t WHERE id = 1000") == [(-1,)]
+
+    def test_merge_keeps_replica_copies_identical(self):
+        db = make_db(replicas=2)
+        db.rebalancer.merge_fragments("t", 2, 1)
+        dest = db.catalog.table("t").fragment(1)
+        scans = [
+            sorted(db.gdh.fragment_ofms[name].table.scan())
+            for _node, name in dest.all_copies()
+        ]
+        assert scans[0] == scans[1]
+
+
+class TestControlLoop:
+    def test_step_splits_the_hot_fragment(self):
+        db = make_db(rows=120)
+        info = db.catalog.table("t")
+        hot = info.fragments[0].fragment_id
+        tracker = db.gdh.executor.access
+        for fragment in info.fragments:
+            weight = 200 if fragment.fragment_id == hot else 10
+            tracker.record("t", fragment.fragment_id, weight)
+        actions = db.rebalancer.step("t")
+        assert actions and actions[0][0] == "split" and actions[0][2] == hot
+
+    def test_step_ignores_quiet_windows(self):
+        db = make_db()
+        db.gdh.executor.access.record("t", 0, 3)
+        assert db.rebalancer.step("t") == []
+
+    def test_report_fingerprint_is_deterministic(self):
+        def run():
+            db = make_db()
+            rebalancer = Rebalancer(db.gdh)
+            rebalancer.split_fragment("t", 0)
+            rebalancer.migrate_fragment("t", 1)
+            return rebalancer.report.fingerprint()
+
+        assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# Replica-aware read routing.
+# ---------------------------------------------------------------------------
+
+
+def nearest_oracle(db, info, origin=0):
+    """Brute-force reference for the executor's nearest-copy choice."""
+    machine = db.machine
+    chosen = []
+    for fragment in info.fragments:
+        live = [
+            db.gdh.fragment_ofms[name]
+            for _node, name in fragment.all_copies()
+            if name in db.gdh.fragment_ofms
+            and db.gdh.fragment_ofms[name].alive
+            and machine.reachable(origin, db.gdh.fragment_ofms[name].node_id)
+        ]
+        chosen.append(
+            min(
+                live,
+                key=lambda c: (
+                    machine.current_hops(origin, c.node_id),
+                    c.ready_at,
+                    c.name,
+                ),
+            )
+        )
+    return chosen
+
+
+class TestNearestRouting:
+    @pytest.mark.parametrize("topology", ["mesh", "chordal_ring", "ring"])
+    def test_nearest_matches_brute_force_oracle(self, topology):
+        db = make_db(n_nodes=16, replicas=3, topology=topology)
+        db.gdh.executor.read_routing = "nearest"
+        info = db.catalog.table("t")
+        picked = list(db.gdh.executor._scan_copies(info, None))
+        assert picked == nearest_oracle(db, info)
+
+    def test_nearest_skips_dead_copies(self):
+        db = make_db(n_nodes=16, replicas=2)
+        db.gdh.executor.read_routing = "nearest"
+        expected = sorted(db.query("SELECT id, v FROM t"))
+        victim = db.catalog.table("t").fragments[0].node_id
+        db.crash_element(victim)
+        assert sorted(db.query("SELECT id, v FROM t")) == expected
+        info = db.catalog.table("t")
+        picked = list(db.gdh.executor._scan_copies(info, None))
+        assert picked == nearest_oracle(db, info)
+        assert all(ofm.node_id != victim for ofm in picked)
+
+    def test_default_policy_is_unchanged(self):
+        db = make_db(n_nodes=16, replicas=2)
+        assert db.gdh.executor.read_routing == "ready"
+        info = db.catalog.table("t")
+        picked = list(db.gdh.executor._scan_copies(info, None))
+        for fragment, choice in zip(info.fragments, picked):
+            live = [
+                db.gdh.fragment_ofms[name]
+                for _node, name in fragment.all_copies()
+            ]
+            assert choice is min(live, key=lambda c: (c.ready_at, c.name))
+
+
+# ---------------------------------------------------------------------------
+# The fault facade: Machine.faults / FaultInjector.scope.
+# ---------------------------------------------------------------------------
+
+
+class TestFaultFacade:
+    def test_scope_restores_on_exception(self):
+        machine = Machine(MachineConfig(n_nodes=8, topology="ring"))
+        with pytest.raises(RuntimeError):
+            with machine.faults(nodes=[3], links=[(0, 1)]):
+                assert not machine.node_is_up(3)
+                assert machine.fault_board.active() == {
+                    "nodes": [3],
+                    "links": [(0, 1)],
+                }
+                raise RuntimeError("boom")
+        assert machine.node_is_up(3)
+        assert machine.fault_board.active() == {"nodes": [], "links": []}
+
+    def test_scope_leaves_preexisting_faults_alone(self):
+        machine = Machine(MachineConfig(n_nodes=8, topology="ring"))
+        machine.fail_node(2)
+        with machine.faults(nodes=[2, 5]):
+            assert not machine.node_is_up(5)
+        assert not machine.node_is_up(2)  # was down on entry, stays down
+        assert machine.node_is_up(5)
+
+    def test_injector_scope_crashes_processes_and_logs(self):
+        db = make_db(replicas=2)
+        faults = FaultInjector(seed=3)
+        faults.bind(db.gdh.runtime)
+        victim = db.catalog.table("t").fragments[0].node_id
+        expected = sorted(db.query("SELECT id, v FROM t"))
+        with faults.scope(nodes=[victim]):
+            assert not db.machine.node_is_up(victim)
+        assert db.machine.node_is_up(victim)
+        entries = [
+            entry for entry in faults.injections if entry[0] == "crash_element"
+        ]
+        assert entries, "scope did not land in the injection log"
+        # Replicas keep the data readable after the scoped outage.
+        assert sorted(db.query("SELECT id, v FROM t")) == expected
+
+
+# ---------------------------------------------------------------------------
+# The shared benchmark CLI builder.
+# ---------------------------------------------------------------------------
+
+
+class TestBuildParser:
+    def _harness(self):
+        if str(BENCHMARKS) not in sys.path:
+            sys.path.insert(0, str(BENCHMARKS))
+        import _harness
+
+        return _harness
+
+    def test_requested_flags_only(self):
+        build_parser = self._harness().build_parser
+        parser = build_parser("x", seed=7, out=pathlib.Path("/tmp/x"))
+        args = parser.parse_args([])
+        assert args.seed == 7 and args.out == pathlib.Path("/tmp/x")
+        assert not hasattr(args, "quick") and not hasattr(args, "n_nodes")
+
+    def test_all_flags(self):
+        build_parser = self._harness().build_parser
+        parser = build_parser(
+            "x", seed=1, out=pathlib.Path("o"), quick_help="q",
+            n_nodes=(64, 256),
+        )
+        args = parser.parse_args(
+            ["--seed", "9", "--quick", "--n-nodes", "64"]
+        )
+        assert args.seed == 9 and args.quick and args.n_nodes == [64]
+        assert parser.parse_args([]).n_nodes == [64, 256]
